@@ -1,0 +1,66 @@
+"""Baseline comparisons: Table 3's "Rnd.?"/"Alt.?" columns and §8.2.1.
+
+* random allocation with the same budget (3PA ablation),
+* the naive single-fault self-causation strategy,
+* Jepsen/Blockade-style blackbox fuzzing (expected: zero bugs found).
+"""
+
+import pytest
+
+from repro.baselines import BlackboxFuzzer, NaiveSelfCausation
+from repro.bench import format_table, run_random_campaign
+from repro.bench.runners import bench_config
+from repro.systems import evaluation_systems, get_system
+
+
+@pytest.mark.parametrize("system", ["minihdfs2", "minihbase", "miniozone"])
+def test_random_allocation_underperforms_3pa(benchmark, campaign_cache, system):
+    campaign = campaign_cache(system)
+    random_report = benchmark.pedantic(
+        run_random_campaign, args=(system,), rounds=1, iterations=1
+    )
+    rows = [
+        ["3PA", len(campaign.report.detected_bugs), campaign.report.budget_used],
+        ["random", len(random_report.detected_bugs), random_report.budget_used],
+    ]
+    print()
+    print("Allocation comparison (%s)" % system)
+    print(format_table(["Protocol", "Bugs detected", "Budget"], rows))
+    assert len(random_report.detected_bugs) <= len(campaign.report.detected_bugs)
+
+
+@pytest.mark.parametrize("system", evaluation_systems())
+def test_naive_single_fault_strategy(benchmark, system):
+    """§8.2: the naive strategy misses most bugs (the paper: 11 of 15)."""
+    naive = NaiveSelfCausation(get_system(system), bench_config(system))
+    result = benchmark.pedantic(naive.run, rounds=1, iterations=1)
+    rows = [[bug_id, "yes" if hit else "no"] for bug_id, hit in sorted(result.detected_bugs.items())]
+    print()
+    print("Naive single-fault self-causation (%s)" % system)
+    print(format_table(["Bug", "Naive detects"], rows))
+    spec = get_system(system)
+    for bug in spec.known_bugs:
+        if not bug.alt_detectable:
+            assert not result.detected_bugs[bug.bug_id], (
+                "%s should require stitching" % bug.bug_id
+            )
+
+
+@pytest.mark.parametrize("system", evaluation_systems())
+def test_blackbox_fuzzing_finds_nothing(benchmark, system):
+    """§8.2.1: coarse external faults trigger none of the 15 cascades."""
+    fuzzer = BlackboxFuzzer(get_system(system), bench_config(system), runs_per_workload=3)
+    result = benchmark.pedantic(fuzzer.run, rounds=1, iterations=1)
+    print()
+    print(
+        "Blackbox fuzzing (%s): %d runs, %d crashes, %d partitions -> %d bugs"
+        % (
+            system,
+            result.runs,
+            result.crashes_injected,
+            result.partitions_injected,
+            sum(result.detected_bugs.values()),
+        )
+    )
+    assert result.crashes_injected + result.partitions_injected > 0
+    assert not any(result.detected_bugs.values())

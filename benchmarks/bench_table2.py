@@ -1,0 +1,50 @@
+"""Table 2 reproduction: injection points, monitor points, and tests.
+
+Prints the per-system inventory of loop / exception / negation injection
+points, branch monitor points, and integration tests — the paper's Table 2
+columns (absolute numbers are simulator-scale; the shape — every system
+exposes all site kinds, HDFS 3 exposes more than HDFS 2 — is what carries
+over).
+"""
+
+from repro.bench import format_table
+from repro.instrument.analyzer import analyze
+from repro.systems import evaluation_systems, get_system
+
+
+def table2_rows():
+    rows = []
+    for name in evaluation_systems():
+        spec = get_system(name)
+        counts = spec.registry.counts()
+        rows.append(
+            [
+                name,
+                counts["loop"],
+                counts["throw"] + counts["lib_call"],
+                counts["detector"],
+                counts["branch"],
+                len(spec.workloads),
+                analyze(spec.registry).counts["injectable"],
+            ]
+        )
+    return rows
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    print()
+    print("Table 2 — injection points, monitor points, and tests per system")
+    print(
+        format_table(
+            ["System", "Loop", "Exception", "Negation", "Branch", "Test", "Injectable"],
+            rows,
+        )
+    )
+    assert len(rows) == 5
+    for row in rows:
+        assert all(c > 0 for c in row[1:]), row
+    # HDFS 3 exposes more handlers/sites than HDFS 2 (§8.4.1).
+    hdfs2 = next(r for r in rows if r[0] == "minihdfs2")
+    hdfs3 = next(r for r in rows if r[0] == "minihdfs3")
+    assert hdfs3[6] > hdfs2[6]

@@ -1,0 +1,31 @@
+"""Table 4 reproduction: cycles, clusters, true positives; unlimited vs
+one-delay beam search.
+
+The paper's shape: raw cycles > distinct clusters > true-positive clusters,
+and capping the number of delay injections per cycle cuts the raw cycle
+count substantially while keeping most true positives.
+"""
+
+import pytest
+
+from repro.bench import format_table, table4_row
+from repro.systems import evaluation_systems
+
+HEADERS = ["System", "Cycles", "Clusters", "TP", "Cycles(1D)", "Clusters(1D)", "TP(1D)"]
+
+
+@pytest.mark.parametrize("system", evaluation_systems())
+def test_table4(benchmark, campaign_cache, system):
+    campaign = campaign_cache(system)
+    unlimited, capped = benchmark.pedantic(
+        table4_row, args=(campaign,), rounds=1, iterations=1
+    )
+    row = [system] + unlimited[:3] + capped[:3]
+    print()
+    print("Table 4 (%s)" % system)
+    print(format_table(HEADERS, [row]))
+    cycles, clusters, tp = unlimited[:3]
+    cycles1, clusters1, tp1 = capped[:3]
+    assert cycles >= clusters >= tp
+    assert cycles1 <= cycles  # the delay cap prunes cycles
+    assert clusters1 <= clusters

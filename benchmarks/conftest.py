@@ -1,0 +1,27 @@
+"""Shared campaign cache for the benchmark suite.
+
+Campaigns are expensive (minutes per system), so they run once per pytest
+session and every table benchmark reads from the cache.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.bench import run_campaign  # noqa: E402
+
+_CAMPAIGNS = {}
+
+
+def get_campaign(system: str):
+    if system not in _CAMPAIGNS:
+        _CAMPAIGNS[system] = run_campaign(system)
+    return _CAMPAIGNS[system]
+
+
+@pytest.fixture(scope="session")
+def campaign_cache():
+    return get_campaign

@@ -1,0 +1,6 @@
+"""Repo-root conftest: makes the ``tests`` package importable everywhere."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

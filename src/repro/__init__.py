@@ -1,0 +1,8 @@
+"""CSnake reproduction: detecting self-sustaining cascading failures via
+causal stitching of fault propagations (EUROSYS '26).
+
+See README.md for a tour and DESIGN.md for the architecture and the
+substitution map relative to the paper's JVM implementation.
+"""
+
+__version__ = "1.0.0"

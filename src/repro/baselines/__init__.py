@@ -1,0 +1,21 @@
+"""Baselines the paper compares CSnake against.
+
+* :mod:`random_alloc` — the random budget-allocation protocol of §8.1
+  (Table 3's "Rnd.?" column);
+* :mod:`naive` — the single-fault self-causation strategy of §8.2
+  (Table 3's "Alt.?" column);
+* :mod:`blackbox` — a Jepsen/Blockade-style coarse-grained blackbox fault
+  fuzzer (§8.2.1).
+"""
+
+from .blackbox import BlackboxFuzzer, BlackboxResult
+from .naive import NaiveSelfCausation, NaiveResult
+from .random_alloc import RandomAllocator
+
+__all__ = [
+    "RandomAllocator",
+    "NaiveSelfCausation",
+    "NaiveResult",
+    "BlackboxFuzzer",
+    "BlackboxResult",
+]

@@ -1,0 +1,69 @@
+"""The naive single-fault self-causation strategy of §8.2.
+
+Injects one fault into one test and monitors whether the fault *causes
+itself*: a delayed loop whose own iteration count increases, or an
+exception/negation that re-occurs naturally after the injection.  No causal
+stitching across tests.  A known bug counts as detected if any of its core
+faults exhibits self-causation in some single test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..config import CSnakeConfig
+from ..core.driver import ExperimentDriver
+from ..systems.base import KnownBug, SystemSpec
+from ..types import FaultKey
+
+
+@dataclass
+class NaiveResult:
+    """Self-causing faults found, and known-bug attribution."""
+
+    self_causing: List[Tuple[FaultKey, str]] = field(default_factory=list)
+    experiments: int = 0
+    detected_bugs: Dict[str, bool] = field(default_factory=dict)
+
+    def detects(self, bug: KnownBug) -> bool:
+        return self.detected_bugs.get(bug.bug_id, False)
+
+
+class NaiveSelfCausation:
+    """Exhaustively tries each (fault, reaching-test) pair up to a cap."""
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        config: Optional[CSnakeConfig] = None,
+        faults: Optional[Sequence[FaultKey]] = None,
+        max_tests_per_fault: int = 4,
+    ) -> None:
+        self.spec = spec
+        self.config = config or CSnakeConfig()
+        self.driver = ExperimentDriver(spec, self.config)
+        if faults is None:
+            from ..instrument.analyzer import analyze
+
+            faults = analyze(spec.registry).faults
+        self.faults = sorted(set(faults))
+        self.max_tests_per_fault = max_tests_per_fault
+
+    def run(self) -> NaiveResult:
+        result = NaiveResult()
+        self_causing: Set[FaultKey] = set()
+        for fault in self.faults:
+            reaching = self.driver.tests_reaching(fault)
+            # Highest-coverage tests first (the strategy's best shot).
+            reaching.sort(key=lambda t: -self.driver.coverage_of(t))
+            for test_id in reaching[: self.max_tests_per_fault]:
+                outcome = self.driver.run_experiment(fault, test_id)
+                result.experiments += 1
+                if fault in outcome.interference:
+                    result.self_causing.append((fault, test_id))
+                    self_causing.add(fault)
+                    break
+        for bug in self.spec.known_bugs:
+            result.detected_bugs[bug.bug_id] = bool(bug.core_faults & self_causing)
+        return result

@@ -1,0 +1,61 @@
+"""Random test-budget allocation (the paper's §8.1 comparison).
+
+Uses the same total budget as the 3PA protocol but picks (fault, test)
+combinations uniformly at random *with replacement* — the naive sampling a
+tester without the causal feedback loop would do.  Everything downstream
+(FCA, stitching, beam search) is identical, so differences in detection
+are attributable to allocation alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..config import CSnakeConfig
+from ..core.allocation import AllocationOutcome, AllocationRecord
+from ..core.driver import ExperimentDriver
+from ..types import FaultKey
+
+
+class RandomAllocator:
+    """Budget-equivalent random (fault, test) sampling."""
+
+    def __init__(
+        self,
+        driver: ExperimentDriver,
+        faults: Sequence[FaultKey],
+        config: Optional[CSnakeConfig] = None,
+    ) -> None:
+        self.driver = driver
+        self.faults = sorted(set(faults))
+        self.config = config or driver.config
+        self.rng = random.Random(self.config.seed * 17 + 3)
+        self.outcome = AllocationOutcome()
+
+    def run(self) -> AllocationOutcome:
+        budget = self.config.budget_per_fault * len(self.faults)
+        self.outcome.budget_total = budget
+        reaching = {
+            fault: self.driver.tests_reaching(fault) for fault in self.faults
+        }
+        candidates: List[FaultKey] = [f for f in self.faults if reaching[f]]
+        self.outcome.unreachable = [f for f in self.faults if not reaching[f]]
+        if not candidates:
+            return self.outcome
+        seen = set()
+        for _ in range(budget):
+            fault = self.rng.choice(candidates)
+            test_id = self.rng.choice(reaching[fault])
+            if (fault, test_id) in seen:
+                # Re-running an identical experiment yields nothing new; it
+                # still consumes budget (with-replacement sampling).
+                self.outcome.budget_used += 1
+                continue
+            seen.add((fault, test_id))
+            result = self.driver.run_experiment(fault, test_id)
+            self.outcome.records.append(
+                AllocationRecord(phase=0, fault=fault, test_id=test_id, result=result)
+            )
+            self.outcome.budget_used += 1
+        return self.outcome

@@ -1,0 +1,21 @@
+"""Shared evaluation harness used by the benchmark suite and EXPERIMENTS.md."""
+
+from .runners import (
+    CampaignResult,
+    bench_config,
+    run_campaign,
+    run_random_campaign,
+    table3_rows,
+    table4_row,
+)
+from .tables import format_table
+
+__all__ = [
+    "CampaignResult",
+    "bench_config",
+    "run_campaign",
+    "run_random_campaign",
+    "table3_rows",
+    "table4_row",
+    "format_table",
+]

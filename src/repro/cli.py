@@ -1,0 +1,111 @@
+"""Command-line interface: run CSnake against a bundled system.
+
+Examples::
+
+    python -m repro.cli list
+    python -m repro.cli run toy
+    python -m repro.cli run minihdfs2 --budget 10 --seed 7
+    python -m repro.cli inject minihbase hm.assign.rpc:exception hbase.rs_fault_tolerance
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import CSnakeConfig
+from .core import CSnake
+from .core.driver import ExperimentDriver
+from .systems import available_systems, get_system
+from .types import FaultKey, InjKind
+
+
+def _parse_fault(text: str) -> FaultKey:
+    try:
+        site, kind = text.rsplit(":", 1)
+        return FaultKey(site, InjKind(kind))
+    except ValueError:
+        raise SystemExit(
+            "fault must look like '<site>:<delay|exception|negation>', got %r" % text
+        )
+
+
+def _config(args: argparse.Namespace) -> CSnakeConfig:
+    params = {}
+    if args.budget is not None:
+        params["budget_per_fault"] = args.budget
+    if args.seed is not None:
+        params["seed"] = args.seed
+    if args.repeats is not None:
+        params["repeats"] = args.repeats
+    params.setdefault("delay_values_ms", (250.0, 1000.0, 8000.0))
+    return CSnakeConfig(**params)
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for name in available_systems():
+        spec = get_system(name)
+        print(
+            "%-12s %3d sites, %2d tests, %d known bugs"
+            % (name, len(spec.registry), len(spec.workloads), len(spec.known_bugs))
+        )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    detector = CSnake(get_system(args.system), _config(args))
+    report = detector.run()
+    summary = report.summary()
+    print("system: %s" % args.system)
+    for key, value in summary.items():
+        print("  %-14s %s" % (key, value))
+    for match in report.bug_matches:
+        status = "DETECTED" if match.detected else "missed"
+        line = "  [%s] %s" % (status, match.bug.bug_id)
+        if match.detected:
+            cycle = match.best_cycle
+            line += "  %s via %d tests" % (cycle.signature(), len(cycle.tests()))
+        print(line)
+    return 0 if report.detected_bugs else 1
+
+
+def cmd_inject(args: argparse.Namespace) -> int:
+    spec = get_system(args.system)
+    driver = ExperimentDriver(spec, _config(args))
+    fault = _parse_fault(args.fault)
+    result = driver.run_experiment(fault, args.test)
+    print("inject %s into %s:" % (fault, args.test))
+    if not result.interference:
+        print("  (no additional faults triggered)")
+    for interference in result.interference:
+        print("  -> %s" % interference)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled target systems")
+
+    run = sub.add_parser("run", help="run the full detection pipeline")
+    run.add_argument("system", choices=available_systems())
+
+    inject = sub.add_parser("inject", help="run one fault injection experiment")
+    inject.add_argument("system", choices=available_systems())
+    inject.add_argument("fault", help="<site>:<delay|exception|negation>")
+    inject.add_argument("test", help="workload/test id")
+
+    for p in sub.choices.values():
+        p.add_argument("--budget", type=int, default=None, help="budget per fault")
+        p.add_argument("--seed", type=int, default=None)
+        p.add_argument("--repeats", type=int, default=None)
+
+    args = parser.parse_args(argv)
+    handler = {"list": cmd_list, "run": cmd_run, "inject": cmd_inject}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Framework-wide configuration with the paper's default parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .errors import ConfigError
+
+#: Delay sweep used for contention injection (§4.2): seven values between
+#: 100 ms and 8 s, in virtual milliseconds.
+DELAY_VALUES_MS: Tuple[float, ...] = (100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0)
+
+#: Number of repetitions of every profile and injection run (§4.3).
+DEFAULT_REPEATS = 5
+
+#: Significance level of the one-sided t-test on loop iteration counts.
+DEFAULT_PVALUE = 0.1
+
+#: Budget multiplier: total test budget is ``budget_per_fault * |F|`` (§5.2).
+DEFAULT_BUDGET_PER_FAULT = 4
+
+#: Phase split of the 3PA protocol (§5.2): 25% / 50% / 25%.
+PHASE_SPLIT: Tuple[float, float, float] = (0.25, 0.50, 0.25)
+
+#: Minimum allocation weight for a fault cluster in phase three (§A.4).
+EPSILON_WEIGHT = 0.01
+
+#: Fraction of lowest-ranked loops (by body size) excluded by the loop
+#: scalability analysis unless they perform I/O (§4.1).
+LOOP_SIZE_PRUNE_FRAC = 0.10
+
+
+@dataclass
+class CSnakeConfig:
+    """Tunable knobs of the whole pipeline, defaulting to paper values."""
+
+    repeats: int = DEFAULT_REPEATS
+    p_value: float = DEFAULT_PVALUE
+    budget_per_fault: int = DEFAULT_BUDGET_PER_FAULT
+    delay_values_ms: Tuple[float, ...] = DELAY_VALUES_MS
+    #: Fraction of injection runs in which a point fault (exception or
+    #: negation) must appear — while appearing in no profile run — to count
+    #: as an additional fault.  The paper uses "any additional fault" with
+    #: 5 repetitions; 0.4 (2 of 5) damps scheduler noise.
+    point_event_min_frac: float = 0.4
+    #: Hierarchical-clustering cut: faults closer than this cosine distance
+    #: are considered causally equivalent.
+    cluster_distance: float = 0.5
+    #: Beam width.  The paper uses 5e6; our causal graphs are ~1e3 edges so
+    #: 10 000 is exhaustive at this scale.
+    beam_width: int = 10_000
+    #: Maximum number of edges in a propagation chain.
+    max_chain_len: int = 6
+    #: Cap on delay (contention) faults per reported cycle; ``None`` means
+    #: unlimited (Table 4 compares unlimited vs 1).
+    max_delay_faults: "int | None" = None
+    #: One-shot negation by default (matching the one-time exception throw
+    #: convention of §4.2): a sticky (stuck-detector) mode is available but
+    #: negating a per-node detector for *every* node at once models a
+    #: different, far larger fault than the single-component errors the
+    #: paper injects.
+    sticky_negation: bool = False
+    #: Virtual warmup before armed injections may fire: one-time faults
+    #: injected into a cold system reach empty queues and exercise nothing.
+    injection_warmup_ms: float = 20_000.0
+    #: Base random seed; repetition ``i`` of any run uses ``seed + i``.
+    seed: int = 1234
+    #: Whether stitching applies the local compatibility check (§6.2).
+    compat_check: bool = True
+    #: Number of worker threads for the parallel beam search (1 = serial).
+    beam_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeats < 2:
+            raise ConfigError("need at least 2 repeats for the t-test")
+        if not 0.0 < self.p_value < 1.0:
+            raise ConfigError("p_value must be in (0, 1)")
+        if self.budget_per_fault < 1:
+            raise ConfigError("budget_per_fault must be positive")
+        if not self.delay_values_ms:
+            raise ConfigError("delay_values_ms must be non-empty")
+        if self.beam_width < 1:
+            raise ConfigError("beam_width must be positive")
+        if self.max_chain_len < 2:
+            raise ConfigError("cycles need at least 2 edges")
+
+    def phase_budgets(self, n_faults: int) -> Tuple[int, int, int]:
+        """Split the total budget ``budget_per_fault * n_faults`` 25/50/25."""
+        total = self.budget_per_fault * n_faults
+        p1 = round(total * PHASE_SPLIT[0])
+        p2 = round(total * PHASE_SPLIT[1])
+        p3 = total - p1 - p2
+        return (p1, p2, p3)
+
+
+@dataclass
+class SimConfig:
+    """Substrate-level configuration for simulated clusters."""
+
+    #: Reduced timeouts (§4.2): systems run with 10–20 s timeouts so they
+    #: are sensitive to injected delay, in virtual ms.
+    rpc_timeout_ms: float = 10_000.0
+    stale_timeout_ms: float = 15_000.0
+    heartbeat_interval_ms: float = 3_000.0
+    network_latency_ms: float = 2.0
+    network_jitter_ms: float = 1.0
+    #: Virtual-time horizon of one workload run.
+    run_duration_ms: float = 120_000.0
+    #: Per-iteration base processing cost charged by instrumented loops.
+    loop_iter_cost_ms: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.rpc_timeout_ms <= 0 or self.heartbeat_interval_ms <= 0:
+            raise ConfigError("timeouts and intervals must be positive")
+
+
+#: Cap on distinct local states remembered per site in one run, to bound
+#: memory on hot loops.
+MAX_STATES_PER_SITE = 64

@@ -1,0 +1,44 @@
+"""CSnake's primary contribution: causal stitching of fault propagations.
+
+Public entry point::
+
+    from repro.core import CSnake
+    from repro.systems import get_system
+
+    report = CSnake(get_system("minihdfs2")).run()
+    for match in report.bug_matches:
+        print(match.bug.bug_id, match.detected)
+"""
+
+from .allocation import AllocationOutcome, ThreePhaseAllocator
+from .beam import BeamSearch, BeamSearchResult
+from .compat import CompatChecker
+from .cycles import Cycle, CycleCluster, cluster_cycles
+from .detector import CSnake
+from .driver import ExperimentDriver, run_workload
+from .edges import EdgeDB
+from .fca import FaultCausalityAnalysis, FcaResult
+from .idf import IdfVectorizer, cosine_distance
+from .report import BugMatch, DetectionReport, build_report
+
+__all__ = [
+    "CSnake",
+    "ExperimentDriver",
+    "run_workload",
+    "FaultCausalityAnalysis",
+    "FcaResult",
+    "EdgeDB",
+    "ThreePhaseAllocator",
+    "AllocationOutcome",
+    "BeamSearch",
+    "BeamSearchResult",
+    "CompatChecker",
+    "Cycle",
+    "CycleCluster",
+    "cluster_cycles",
+    "IdfVectorizer",
+    "cosine_distance",
+    "BugMatch",
+    "DetectionReport",
+    "build_report",
+]

@@ -1,0 +1,171 @@
+"""Parallel beam search for self-sustaining cascading failures (Algorithm 1).
+
+Starting from every causal edge as a length-1 chain, each level appends one
+edge to each surviving chain (guarded by the local compatibility check) and
+reports a cycle whenever a chain closes back onto its first edge.  At each
+level only the best ``B`` chains survive, ranked by the mean intra-cluster
+interference similarity score of the injected faults in the chain — chains
+built from faults with *conditional* consequences (low SimScore) are kept,
+as they most resemble the error-handling tangles developers overlook.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import CSnakeConfig
+from ..types import CausalEdge, FaultKey, InjKind
+from .compat import CompatChecker
+from .cycles import INJECTION_EDGE_TYPES, Cycle
+
+
+@dataclass(frozen=True)
+class _Chain:
+    edges: Tuple[CausalEdge, ...]
+    score: float
+
+    @property
+    def last(self) -> CausalEdge:
+        return self.edges[-1]
+
+    @property
+    def first(self) -> CausalEdge:
+        return self.edges[0]
+
+
+@dataclass
+class BeamSearchResult:
+    cycles: List[Cycle] = field(default_factory=list)
+    chains_explored: int = 0
+    levels: int = 0
+    compat: Optional[CompatChecker] = None
+
+
+class BeamSearch:
+    """Cycle detector over a causal-edge set."""
+
+    def __init__(
+        self,
+        config: Optional[CSnakeConfig] = None,
+        sim_scores: Optional[Dict[FaultKey, float]] = None,
+    ) -> None:
+        self.config = config or CSnakeConfig()
+        #: SimScore of each fault's cluster; unknown faults default to 1.0
+        #: (maximally unconditional, hence ranked last).
+        self.sim_scores = sim_scores or {}
+        self.compat = CompatChecker(enabled=self.config.compat_check)
+
+    # -------------------------------------------------------------- scoring
+
+    def _chain_score(self, edges: Tuple[CausalEdge, ...]) -> float:
+        injected = [e.src for e in edges if e.etype in INJECTION_EDGE_TYPES]
+        if not injected:
+            return 1.0
+        total = sum(self.sim_scores.get(f, 1.0) for f in injected)
+        return total / len(injected)
+
+    def _delay_count(self, edges: Tuple[CausalEdge, ...]) -> int:
+        return sum(
+            1
+            for e in edges
+            if e.etype in INJECTION_EDGE_TYPES and e.src.kind is InjKind.DELAY
+        )
+
+    # --------------------------------------------------------------- search
+
+    def search(self, edges: Sequence[CausalEdge]) -> BeamSearchResult:
+        result = BeamSearchResult(compat=self.compat)
+        edge_list = list(edges)
+        # Index edges by source fault: a chain ending in fault f can only be
+        # extended by edges injecting f, so candidate lookup is O(out-degree)
+        # instead of O(|E|).
+        self._by_src: Dict[FaultKey, List[CausalEdge]] = {}
+        for edge in edge_list:
+            self._by_src.setdefault(edge.src, []).append(edge)
+        seen_cycles: Dict[Tuple, Cycle] = {}
+        queue: List[_Chain] = []
+        for edge in edge_list:
+            chain = _Chain((edge,), self._chain_score((edge,)))
+            if self._exceeds_delay_cap(chain.edges):
+                continue
+            result.chains_explored += 1
+            # A self-edge (f causes f) is already a cycle of length one.
+            if self.compat.match(edge, edge):
+                self._report(chain.edges, seen_cycles)
+            queue.append(chain)
+
+        while queue and result.levels < self.config.max_chain_len - 1:
+            result.levels += 1
+            extensions = self._extend_level(queue, edge_list, seen_cycles, result)
+            # Exact chain deduplication: future extension depends only on the
+            # last edge, closure only on the first, and ranking only on the
+            # fault-level signature — interior test combinations are
+            # interchangeable, so keep one representative per class.
+            unique: Dict[Tuple, _Chain] = {}
+            for chain in extensions:
+                sig = (
+                    tuple((e.src, e.dst, e.etype.value) for e in chain.edges),
+                    chain.first.key(),
+                    chain.last.key(),
+                )
+                unique.setdefault(sig, chain)
+            extensions = list(unique.values())
+            extensions.sort(key=lambda c: (c.score, [e.key() for e in c.edges]))
+            queue = extensions[: self.config.beam_width]
+
+        result.cycles = [seen_cycles[k] for k in sorted(seen_cycles)]
+        return result
+
+    def _extend_level(
+        self,
+        queue: List[_Chain],
+        edge_list: List[CausalEdge],
+        seen_cycles: Dict[Tuple, Cycle],
+        result: BeamSearchResult,
+    ) -> List[_Chain]:
+        if self.config.beam_workers > 1 and len(queue) > 64:
+            chunk = (len(queue) + self.config.beam_workers - 1) // self.config.beam_workers
+            parts = [queue[i : i + chunk] for i in range(0, len(queue), chunk)]
+            with ThreadPoolExecutor(max_workers=self.config.beam_workers) as pool:
+                outs = list(pool.map(lambda p: self._extend_chains(p, edge_list), parts))
+            extensions: List[_Chain] = []
+            closed: List[Tuple[CausalEdge, ...]] = []
+            for ext, cyc in outs:
+                extensions.extend(ext)
+                closed.extend(cyc)
+        else:
+            extensions, closed = self._extend_chains(queue, edge_list)
+        for edges in closed:
+            self._report(edges, seen_cycles)
+        result.chains_explored += len(extensions)
+        return extensions
+
+    def _extend_chains(
+        self, chains: List[_Chain], edge_list: List[CausalEdge]
+    ) -> Tuple[List[_Chain], List[Tuple[CausalEdge, ...]]]:
+        extensions: List[_Chain] = []
+        closed: List[Tuple[CausalEdge, ...]] = []
+        for chain in chains:
+            for edge in self._by_src.get(chain.last.dst, ()):
+                if edge in chain.edges:
+                    continue  # chains never reuse an edge
+                if not self.compat.match(chain.last, edge):
+                    continue
+                new_edges = chain.edges + (edge,)
+                if self._exceeds_delay_cap(new_edges):
+                    continue
+                if self.compat.match(edge, chain.first):
+                    closed.append(new_edges)
+                else:
+                    extensions.append(_Chain(new_edges, self._chain_score(new_edges)))
+        return extensions, closed
+
+    def _exceeds_delay_cap(self, edges: Tuple[CausalEdge, ...]) -> bool:
+        cap = self.config.max_delay_faults
+        return cap is not None and self._delay_count(edges) > cap
+
+    def _report(self, edges: Tuple[CausalEdge, ...], seen: Dict[Tuple, Cycle]) -> None:
+        cycle = Cycle(edges).canonical()
+        seen.setdefault(cycle.key(), cycle)

@@ -1,0 +1,126 @@
+"""Cycle representation and clustering of reported cycles (§6.3)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..types import CausalEdge, EdgeType, FaultKey, InjKind
+from .clustering import Clustering
+
+#: Edge types that represent an actual fault-injection experiment (ICFG and
+#: CFG edges are derived from loop nesting, not from an injection).
+INJECTION_EDGE_TYPES = frozenset(
+    {EdgeType.E_D, EdgeType.SP_D, EdgeType.E_I, EdgeType.SP_I}
+)
+
+
+@dataclass(frozen=True)
+class Cycle:
+    """A closed propagation chain: a fault that transitively causes itself."""
+
+    edges: Tuple[CausalEdge, ...]
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ValueError("a cycle needs at least one edge")
+
+    # ------------------------------------------------------------ identity
+
+    def canonical(self) -> "Cycle":
+        """Rotation-invariant canonical form (cycles have no start)."""
+        n = len(self.edges)
+        rotations = [tuple(self.edges[i:] + self.edges[:i]) for i in range(n)]
+        best = min(rotations, key=lambda rot: [e.key() for e in rot])
+        return Cycle(best)
+
+    def key(self) -> Tuple:
+        """Fault-level identity: two cycles traversing the same faults via
+        the same relationship types are the same cascading failure, no
+        matter which tests each link was observed in."""
+        n = len(self.edges)
+        triples = [(e.src, e.dst, e.etype.value) for e in self.edges]
+        rotations = [tuple(triples[i:] + triples[:i]) for i in range(n)]
+        return min(rotations)
+
+    # ------------------------------------------------------------- content
+
+    def injected_faults(self) -> List[FaultKey]:
+        """Faults injected along the cycle (derived edges excluded)."""
+        return [e.src for e in self.edges if e.etype in INJECTION_EDGE_TYPES]
+
+    def all_faults(self) -> List[FaultKey]:
+        out = []
+        for e in self.edges:
+            out.append(e.src)
+        return out
+
+    def fault_set(self) -> frozenset:
+        faults = set()
+        for e in self.edges:
+            faults.add(e.src)
+            faults.add(e.dst)
+        return frozenset(faults)
+
+    def tests(self) -> List[str]:
+        return sorted({e.test_id for e in self.edges})
+
+    def delay_injections(self) -> int:
+        return sum(1 for f in self.injected_faults() if f.kind is InjKind.DELAY)
+
+    def signature(self) -> str:
+        """Cycle composition in the paper's Table 3 notation, e.g. ``1D|2E|0N``."""
+        counts = Counter(f.kind for f in self.injected_faults())
+        return "%dD|%dE|%dN" % (
+            counts.get(InjKind.DELAY, 0),
+            counts.get(InjKind.EXCEPTION, 0),
+            counts.get(InjKind.NEGATION, 0),
+        )
+
+    def cluster_signature(self, clustering: Optional[Clustering]) -> Tuple:
+        """Multiset of fault clusters involved, for cycle clustering.
+
+        Faults outside the clustering (never injected, e.g. derived parent
+        loops) are treated as singleton pseudo-clusters.
+        """
+        ids: List = []
+        for fault in self.injected_faults():
+            if clustering is not None and fault in clustering.by_fault:
+                ids.append(("G", clustering.by_fault[fault]))
+            else:
+                ids.append(("f", fault.site_id, fault.kind.value))
+        return tuple(sorted(ids))
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ["%s" % e.src for e in self.edges]
+        parts.append(str(self.edges[0].src))
+        return " -> ".join(parts) + "  [%s]" % self.signature()
+
+
+@dataclass
+class CycleCluster:
+    """Cycles grouped by the fault clusters they involve (§6.3)."""
+
+    signature: Tuple
+    cycles: List[Cycle] = field(default_factory=list)
+
+    @property
+    def representative(self) -> Cycle:
+        """Shortest cycle (ties broken deterministically)."""
+        return min(self.cycles, key=lambda c: (len(c), c.key()))
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+
+def cluster_cycles(cycles: Sequence[Cycle], clustering: Optional[Clustering]) -> List[CycleCluster]:
+    """Group equivalent cycles: same multiset of involved fault clusters."""
+    groups: Dict[Tuple, CycleCluster] = {}
+    for cycle in cycles:
+        sig = cycle.cluster_signature(clustering)
+        groups.setdefault(sig, CycleCluster(sig)).cycles.append(cycle)
+    return sorted(groups.values(), key=lambda g: g.signature)

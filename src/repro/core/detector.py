@@ -1,0 +1,82 @@
+"""The CSnake facade: end-to-end pipeline over one target system.
+
+Wires together the static analyzer, the workload driver, the 3PA budget
+allocator, the beam search, cycle clustering, and ground-truth matching
+(Figure 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..config import CSnakeConfig
+from ..instrument.analyzer import AnalysisResult, analyze
+from ..systems.base import SystemSpec
+from ..types import FaultKey
+from .allocation import AllocationOutcome, ThreePhaseAllocator
+from .beam import BeamSearch, BeamSearchResult
+from .driver import ExperimentDriver
+from .report import DetectionReport, build_report
+
+
+@dataclass
+class CSnake:
+    """End-to-end detector for self-sustaining cascading failures."""
+
+    spec: SystemSpec
+    config: CSnakeConfig = field(default_factory=CSnakeConfig)
+
+    def __post_init__(self) -> None:
+        self.analysis: Optional[AnalysisResult] = None
+        self.driver = ExperimentDriver(self.spec, self.config)
+        self.allocation: Optional[AllocationOutcome] = None
+        self.beam_result: Optional[BeamSearchResult] = None
+
+    # ---------------------------------------------------------------- stages
+
+    def analyze_static(self) -> AnalysisResult:
+        """Stage 1: static analyzer selects the injectable fault space F."""
+        self.analysis = analyze(self.spec.registry)
+        return self.analysis
+
+    def allocate_and_inject(self, faults: Optional[List[FaultKey]] = None) -> AllocationOutcome:
+        """Stages 2-3: profile runs, 3PA-allocated injections, FCA."""
+        if faults is None:
+            if self.analysis is None:
+                self.analyze_static()
+            faults = list(self.analysis.faults)
+        self.driver.profile_all()
+        allocator = ThreePhaseAllocator(self.driver, faults, self.config)
+        self.allocation = allocator.run()
+        return self.allocation
+
+    def detect_cycles(self) -> BeamSearchResult:
+        """Stages 4-5: stitch compatible edges, beam-search for cycles."""
+        if self.allocation is None:
+            raise RuntimeError("run allocate_and_inject() first")
+        beam = BeamSearch(self.config, self.allocation.fault_scores)
+        self.beam_result = beam.search(self.driver.edges.all_edges())
+        return self.beam_result
+
+    def report(self) -> DetectionReport:
+        if self.beam_result is None or self.allocation is None:
+            raise RuntimeError("pipeline has not run")
+        return build_report(
+            self.spec,
+            self.beam_result.cycles,
+            self.allocation.clustering,
+            n_faults=len(self.analysis.faults) if self.analysis else 0,
+            budget_used=self.allocation.budget_used,
+            runs_executed=self.driver.runs_executed,
+            n_edges=len(self.driver.edges),
+        )
+
+    # ------------------------------------------------------------------ main
+
+    def run(self) -> DetectionReport:
+        """Run the whole pipeline and return the detection report."""
+        self.analyze_static()
+        self.allocate_and_inject()
+        self.detect_cycles()
+        return self.report()

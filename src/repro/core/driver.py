@@ -1,0 +1,146 @@
+"""Workload driver: executes profile and injection runs and feeds FCA.
+
+Each (fault, test) experiment runs the workload ``repeats`` times with the
+*same* per-repetition seeds as the test's profile runs — the injection run
+is then an exact counterfactual of its profile run (identical seeded
+randomness, differing only in the armed fault), which is the strongest
+form of the paper's profile/injection comparison.  Delay injections sweep
+the configured delay values (§4.2), one FCA per value, interferences
+unioned; the sweep counts as a single budget unit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..config import CSnakeConfig
+from ..errors import UnknownSite
+from ..instrument.plan import InjectionPlan
+from ..instrument.runtime import Runtime
+from ..instrument.trace import RunGroup, RunTrace
+from ..sim import SimEnv
+from ..systems.base import SystemSpec, WorkloadSpec
+from ..types import FaultKey, InjKind
+from .edges import EdgeDB
+from .fca import FaultCausalityAnalysis, FcaResult
+
+
+def _seed_for(test_id: str, rep: int, base: int) -> int:
+    """Stable per-(test, repetition) seed shared by profile and injection."""
+    digest = hashlib.sha256(("%s#%d#%d" % (test_id, rep, base)).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def run_workload(
+    spec: SystemSpec,
+    workload: WorkloadSpec,
+    plan: Optional[InjectionPlan],
+    seed: int,
+) -> RunTrace:
+    """Execute one run of one workload, optionally with an armed fault."""
+    trace = RunTrace(test_id=workload.test_id, injection=plan, seed=seed)
+    runtime = Runtime(spec.registry, trace=trace, plan=plan)
+    env = SimEnv(workload.sim_config, seed=seed)
+    env.runtime = runtime
+    runtime.bind_env(env)
+    started = time.perf_counter()
+    workload.setup(env, runtime)
+    env.run(workload.duration_ms)
+    trace.wall_time_s = time.perf_counter() - started
+    trace.saturated = env.saturated
+    trace.virtual_end_ms = env.now
+    return trace
+
+
+@dataclass
+class ExperimentDriver:
+    """Runs experiments against one system, caching profile runs."""
+
+    spec: SystemSpec
+    config: CSnakeConfig = field(default_factory=CSnakeConfig)
+
+    def __post_init__(self) -> None:
+        self._profiles: Dict[str, RunGroup] = {}
+        self.fca = FaultCausalityAnalysis(self.spec.registry, self.config)
+        self.edges = EdgeDB()
+        self.results: List[FcaResult] = []
+        self.experiments_run = 0  # budget units consumed
+        self.runs_executed = 0  # individual simulated runs
+
+    # -------------------------------------------------------------- profiles
+
+    def profile(self, test_id: str) -> RunGroup:
+        """Profile (fault-free) run group of a test; cached."""
+        group = self._profiles.get(test_id)
+        if group is None:
+            workload = self.spec.workloads[test_id]
+            group = RunGroup(test_id=test_id, injection=None)
+            for rep in range(self.config.repeats):
+                seed = _seed_for(test_id, rep, self.config.seed)
+                group.add(run_workload(self.spec, workload, None, seed))
+                self.runs_executed += 1
+            self._profiles[test_id] = group
+        return group
+
+    def profile_all(self) -> None:
+        for test_id in self.spec.workload_ids():
+            self.profile(test_id)
+
+    # -------------------------------------------------------------- coverage
+
+    def tests_reaching(self, fault: FaultKey) -> List[str]:
+        """Tests whose profile runs reach the fault's program location."""
+        out = []
+        for test_id in self.spec.workload_ids():
+            if fault.site_id in self.profile(test_id).reached():
+                out.append(test_id)
+        return out
+
+    def coverage_of(self, test_id: str) -> int:
+        return self.profile(test_id).coverage()
+
+    def best_test_for(self, fault: FaultKey) -> Optional[str]:
+        """Reaching test with the highest code coverage (phase one rule)."""
+        reaching = self.tests_reaching(fault)
+        if not reaching:
+            return None
+        return max(reaching, key=lambda t: (self.coverage_of(t), t))
+
+    # ----------------------------------------------------------- experiments
+
+    def _plans_for(self, fault: FaultKey) -> List[InjectionPlan]:
+        warmup = self.config.injection_warmup_ms
+        if fault.kind is InjKind.DELAY:
+            return [
+                InjectionPlan(fault, delay_ms=value, warmup_ms=warmup)
+                for value in self.config.delay_values_ms
+            ]
+        return [
+            InjectionPlan(fault, sticky=self.config.sticky_negation, warmup_ms=warmup)
+        ]
+
+    def run_experiment(self, fault: FaultKey, test_id: str) -> FcaResult:
+        """One budget unit: inject ``fault`` into ``test_id`` and run FCA."""
+        if fault.site_id not in self.spec.registry:
+            raise UnknownSite(fault.site_id)
+        workload = self.spec.workloads[test_id]
+        profile = self.profile(test_id)
+        combined = FcaResult(fault=fault, test_id=test_id)
+        interference: Set[FaultKey] = set()
+        for plan in self._plans_for(fault):
+            group = RunGroup(test_id=test_id, injection=plan)
+            for rep in range(self.config.repeats):
+                seed = _seed_for(test_id, rep, self.config.seed)
+                group.add(run_workload(self.spec, workload, plan, seed))
+                self.runs_executed += 1
+            partial = self.fca.analyze(profile, group)
+            combined.edges.extend(partial.edges)
+            interference.update(partial.interference)
+        combined.interference = sorted(interference)
+        self.edges.add_all(combined.edges)
+        self.results.append(combined)
+        self.experiments_run += 1
+        return combined

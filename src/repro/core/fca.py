@@ -1,0 +1,148 @@
+"""Fault causality analysis (§4.3): counterfactual trace comparison.
+
+Given the profile runs of a test (no injection) and the injection runs of a
+(fault, test) combination, FCA identifies the *additional* faults the
+injection triggered:
+
+* **execution trace interference** — an exception throw or detector
+  negation that occurred (naturally) in injection runs but never in profile
+  runs → edge types E(D) / E(I);
+* **iteration count interference** — a loop whose iteration count
+  statistically increased (one-sided t-test, p = 0.1) → S+(D) / S+(I);
+* nested/consecutive loop expansion — an S+ interference on a nested loop
+  also yields ICFG (child → parent) and CFG (parent → following sibling)
+  delay edges (Table 1 rows 5–6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..config import CSnakeConfig
+from ..instrument.sites import SiteRegistry
+from ..instrument.trace import RunGroup
+from ..types import CausalEdge, EdgeType, FaultKey, InjKind, SiteKind
+from .stats import one_sided_t_pvalue
+
+
+@dataclass
+class FcaResult:
+    """Outcome of analysing one (fault, test) injection experiment."""
+
+    fault: FaultKey
+    test_id: str
+    edges: List[CausalEdge] = field(default_factory=list)
+    #: The interference list I(f, t): additional faults triggered (direct
+    #: interferences only; derived ICFG/CFG faults are not part of I).
+    interference: List[FaultKey] = field(default_factory=list)
+
+    @property
+    def conditional_ready(self) -> bool:
+        return bool(self.interference)
+
+
+class FaultCausalityAnalysis:
+    """Compares profile and injection run groups to derive causal edges."""
+
+    def __init__(self, registry: SiteRegistry, config: Optional[CSnakeConfig] = None) -> None:
+        self.registry = registry
+        self.config = config or CSnakeConfig()
+
+    # ------------------------------------------------------------- analysis
+
+    def analyze(self, profile: RunGroup, injection: RunGroup) -> FcaResult:
+        if injection.injection is None:
+            raise ValueError("injection group has no armed fault")
+        if profile.test_id != injection.test_id:
+            raise ValueError("profile and injection groups are for different tests")
+        fault = injection.injection.fault
+        result = FcaResult(fault=fault, test_id=injection.test_id)
+        self._point_interferences(profile, injection, fault, result)
+        self._loop_interferences(profile, injection, fault, result)
+        result.interference.sort()
+        return result
+
+    def _point_interferences(
+        self, profile: RunGroup, injection: RunGroup, fault: FaultKey, result: FcaResult
+    ) -> None:
+        """Exceptions and negations present under injection, absent in profile."""
+        etype = EdgeType.E_D if fault.kind is InjKind.DELAY else EdgeType.E_I
+        src_states = injection.injected_states()
+        for candidate in sorted(injection.natural_faults()):
+            if candidate.kind is InjKind.DELAY:
+                continue  # loop faults handled statistically below
+            if profile.fault_occurrence_frac(candidate) > 0.0:
+                continue  # not counterfactual: happens without the injection
+            if injection.fault_occurrence_frac(candidate) < self.config.point_event_min_frac:
+                continue  # too rare to attribute (noise damping)
+            result.interference.append(candidate)
+            result.edges.append(
+                CausalEdge(
+                    src=fault,
+                    dst=candidate,
+                    etype=etype,
+                    test_id=injection.test_id,
+                    src_states=src_states,
+                    dst_states=injection.states_of(candidate),
+                )
+            )
+
+    def _loop_interferences(
+        self, profile: RunGroup, injection: RunGroup, fault: FaultKey, result: FcaResult
+    ) -> None:
+        """Loops whose iteration count statistically increased."""
+        etype = EdgeType.SP_D if fault.kind is InjKind.DELAY else EdgeType.SP_I
+        src_states = injection.injected_states()
+        loop_sites: Set[str] = set()
+        for run in injection.runs:
+            loop_sites |= set(run.loop_counts)
+        for site_id in sorted(loop_sites):
+            treatment = injection.loop_samples(site_id)
+            control = profile.loop_samples(site_id)
+            p = one_sided_t_pvalue(treatment, control)
+            if p >= self.config.p_value:
+                continue
+            dst = FaultKey(site_id, InjKind.DELAY)
+            result.interference.append(dst)
+            edge = CausalEdge(
+                src=fault,
+                dst=dst,
+                etype=etype,
+                test_id=injection.test_id,
+                src_states=src_states,
+                dst_states=injection.loop_states_of(site_id),
+            )
+            result.edges.append(edge)
+            self._expand_nested(injection, dst, result)
+
+    def _expand_nested(self, injection: RunGroup, delayed: FaultKey, result: FcaResult) -> None:
+        """ICFG/CFG expansion for a delayed loop (Table 1 rows 5-6)."""
+        site = self.registry.get(delayed.site_id)
+        if site.kind is not SiteKind.LOOP or site.loop is None or site.loop.parent is None:
+            return
+        parent_id = site.loop.parent
+        parent = FaultKey(parent_id, InjKind.DELAY)
+        result.edges.append(
+            CausalEdge(
+                src=delayed,
+                dst=parent,
+                etype=EdgeType.ICFG,
+                test_id=injection.test_id,
+                src_states=injection.loop_states_of(delayed.site_id),
+                dst_states=injection.loop_states_of(parent_id),
+            )
+        )
+        for sibling in self.registry.siblings_after(delayed.site_id):
+            if sibling.site_id not in injection.reached():
+                continue
+            result.edges.append(
+                CausalEdge(
+                    src=parent,
+                    dst=FaultKey(sibling.site_id, InjKind.DELAY),
+                    etype=EdgeType.CFG,
+                    test_id=injection.test_id,
+                    src_states=injection.loop_states_of(parent_id),
+                    dst_states=injection.loop_states_of(sibling.site_id),
+                )
+            )

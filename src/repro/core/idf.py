@@ -1,0 +1,98 @@
+"""IDF vectorization of fault interference sets (§A.1).
+
+Each injection experiment yields an interference list ``I(f_i, t_j)`` — the
+additional faults triggered.  The vectorizer maps such a list to an
+L2-normalised real vector over the fault corpus ``F``, weighting each fault
+by its inverse document frequency so that faults triggered by *everything*
+(utility-function faults, the "the"s of the corpus) contribute little to
+similarity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..types import FaultKey
+
+
+class IdfVectorizer:
+    """Fits IDF weights over interference lists and vectorizes them.
+
+    ``IDF(f) = log((1 + N) / (1 + N_f))`` where ``N`` is the number of
+    experiments and ``N_f`` the number of experiments whose interference
+    contains ``f`` (§A.1, smoothed).
+    """
+
+    def __init__(self, corpus: Sequence[FaultKey]) -> None:
+        if not corpus:
+            raise ValueError("fault corpus must be non-empty")
+        self._index: Dict[FaultKey, int] = {f: i for i, f in enumerate(sorted(set(corpus)))}
+        self._idf = np.zeros(len(self._index))
+        self._fitted = False
+
+    @property
+    def dim(self) -> int:
+        return len(self._index)
+
+    def fit(self, interferences: Iterable[Iterable[FaultKey]]) -> "IdfVectorizer":
+        docs: List[set] = [set(doc) for doc in interferences]
+        n = len(docs)
+        counts = np.zeros(self.dim)
+        for doc in docs:
+            for fault in doc:
+                idx = self._index.get(fault)
+                if idx is not None:
+                    counts[idx] += 1
+        self._idf = np.log((1.0 + n) / (1.0 + counts))
+        self._fitted = True
+        return self
+
+    def idf_of(self, fault: FaultKey) -> float:
+        if not self._fitted:
+            raise RuntimeError("vectorizer not fitted")
+        idx = self._index.get(fault)
+        return float(self._idf[idx]) if idx is not None else 0.0
+
+    def vectorize(self, interference: Iterable[FaultKey]) -> np.ndarray:
+        """IDF vector of one interference list, L2-normalised (§A.1 eq. 4)."""
+        if not self._fitted:
+            raise RuntimeError("vectorizer not fitted")
+        vec = np.zeros(self.dim)
+        for fault in set(interference):
+            idx = self._index.get(fault)
+            if idx is not None:
+                vec[idx] = self._idf[idx]
+        norm = float(np.linalg.norm(vec))
+        if norm > 0.0:
+            vec /= norm
+        return vec
+
+
+def cosine_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """``1 - cos(a, b)``; empty (all-zero) vectors are at distance 1 from
+    everything except another empty vector (distance 0 — two injections with
+    no interference are maximally similar to each other)."""
+    na = float(np.linalg.norm(a))
+    nb = float(np.linalg.norm(b))
+    if na == 0.0 and nb == 0.0:
+        return 0.0
+    if na == 0.0 or nb == 0.0:
+        return 1.0
+    cos = float(np.dot(a, b)) / (na * nb)
+    return min(1.0, max(0.0, 1.0 - cos))
+
+
+def mean_pairwise_distance(vectors: Sequence[np.ndarray]) -> float:
+    """Average pairwise cosine distance; 0.0 for fewer than two vectors."""
+    n = len(vectors)
+    if n < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            total += cosine_distance(vectors[i], vectors[j])
+            pairs += 1
+    return total / pairs if pairs else 0.0

@@ -1,0 +1,112 @@
+"""Detection reports: cycles, cycle clusters, and ground-truth matching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..systems.base import KnownBug, SystemSpec
+from .clustering import Clustering
+from .cycles import Cycle, CycleCluster, cluster_cycles
+
+
+@dataclass
+class BugMatch:
+    """A known bug and the reported cycles that expose it."""
+
+    bug: KnownBug
+    cycles: List[Cycle] = field(default_factory=list)
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.cycles)
+
+    @property
+    def best_cycle(self) -> Optional[Cycle]:
+        if not self.cycles:
+            return None
+        return min(self.cycles, key=lambda c: (len(c), c.key()))
+
+
+@dataclass
+class DetectionReport:
+    """Full outcome of one CSnake run on one system."""
+
+    system: str
+    n_faults: int = 0
+    n_tests: int = 0
+    budget_used: int = 0
+    runs_executed: int = 0
+    n_edges: int = 0
+    cycles: List[Cycle] = field(default_factory=list)
+    cycle_clusters: List[CycleCluster] = field(default_factory=list)
+    bug_matches: List[BugMatch] = field(default_factory=list)
+
+    @property
+    def detected_bugs(self) -> List[str]:
+        return [m.bug.bug_id for m in self.bug_matches if m.detected]
+
+    @property
+    def missed_bugs(self) -> List[str]:
+        return [m.bug.bug_id for m in self.bug_matches if not m.detected]
+
+    def true_positive_clusters(self) -> List[CycleCluster]:
+        """Cycle clusters containing at least one ground-truth cycle."""
+        matched = set()
+        for match in self.bug_matches:
+            for cycle in match.cycles:
+                matched.add(cycle.key())
+        out = []
+        for cluster in self.cycle_clusters:
+            if any(c.key() in matched for c in cluster.cycles):
+                out.append(cluster)
+        return out
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "faults": self.n_faults,
+            "tests": self.n_tests,
+            "budget_used": self.budget_used,
+            "edges": self.n_edges,
+            "cycles": len(self.cycles),
+            "clusters": len(self.cycle_clusters),
+            "tp_clusters": len(self.true_positive_clusters()),
+            "bugs_detected": len(self.detected_bugs),
+            "bugs_total": len(self.bug_matches),
+        }
+
+
+def match_bugs(spec: SystemSpec, cycles: Sequence[Cycle]) -> List[BugMatch]:
+    """Match reported cycles against the system's known bugs."""
+    matches = []
+    for bug in spec.known_bugs:
+        match = BugMatch(bug=bug)
+        for cycle in cycles:
+            if bug.matches(cycle):
+                match.cycles.append(cycle)
+        matches.append(match)
+    return matches
+
+
+def build_report(
+    spec: SystemSpec,
+    cycles: Sequence[Cycle],
+    clustering: Optional[Clustering],
+    *,
+    n_faults: int = 0,
+    budget_used: int = 0,
+    runs_executed: int = 0,
+    n_edges: int = 0,
+) -> DetectionReport:
+    report = DetectionReport(
+        system=spec.name,
+        n_faults=n_faults,
+        n_tests=len(spec.workloads),
+        budget_used=budget_used,
+        runs_executed=runs_executed,
+        n_edges=n_edges,
+        cycles=list(cycles),
+        cycle_clusters=cluster_cycles(cycles, clustering),
+        bug_matches=match_bugs(spec, cycles),
+    )
+    return report

@@ -1,0 +1,67 @@
+"""Statistical helpers for fault causality analysis.
+
+The paper uses a one-sided t-test with p = 0.1 to decide whether a loop's
+iteration count *statistically increased* in injection runs relative to
+profile runs (§4.3).
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from typing import Sequence
+
+try:  # scipy is a declared dependency, but keep a pure fallback.
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_stats = None
+
+
+def one_sided_t_pvalue(treatment: Sequence[float], control: Sequence[float]) -> float:
+    """P-value for ``mean(treatment) > mean(control)`` (Welch one-sided).
+
+    Degenerate cases are resolved the way the analysis needs them:
+
+    * fewer than two samples on either side → 1.0 (no evidence);
+    * both sides constant and equal → 1.0;
+    * both sides constant, treatment strictly higher → 0.0 (a deterministic
+      increase is maximal evidence);
+    * both sides constant, treatment lower → 1.0.
+    """
+    if len(treatment) < 2 or len(control) < 2:
+        return 1.0
+    mt = sum(treatment) / len(treatment)
+    mc = sum(control) / len(control)
+    vt = sum((x - mt) ** 2 for x in treatment) / (len(treatment) - 1)
+    vc = sum((x - mc) ** 2 for x in control) / (len(control) - 1)
+    if vt == 0.0 and vc == 0.0:
+        return 0.0 if mt > mc else 1.0
+    if _scipy_stats is not None:
+        with warnings.catch_warnings():
+            # Near-identical samples trigger a precision-loss RuntimeWarning;
+            # the resulting p-value is still on the right side of 0.1.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = _scipy_stats.ttest_ind(
+                list(treatment), list(control), equal_var=False, alternative="greater"
+            )
+        return float(result.pvalue)
+    return _welch_greater_pvalue(mt, mc, vt, vc, len(treatment), len(control))
+
+
+def _welch_greater_pvalue(mt: float, mc: float, vt: float, vc: float, nt: int, nc: int) -> float:
+    """Pure-python Welch t-test (normal approximation of the t CDF)."""
+    se = math.sqrt(vt / nt + vc / nc)
+    if se == 0.0:
+        return 0.0 if mt > mc else 1.0
+    t = (mt - mc) / se
+    # Normal approximation is adequate for a 0.1 significance screen.
+    return 0.5 * math.erfc(t / math.sqrt(2.0))
+
+
+def significant_increase(
+    treatment: Sequence[float], control: Sequence[float], p_value: float = 0.1
+) -> bool:
+    """True if treatment counts statistically exceed control counts."""
+    if not treatment:
+        return False
+    return one_sided_t_pvalue(treatment, control) < p_value

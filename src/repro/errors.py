@@ -1,0 +1,75 @@
+"""Exception hierarchy shared by the framework and the mini-systems.
+
+``SimFault`` subclasses model the *effects* of faults inside the simulated
+distributed systems (software-implemented fault injection, §2 Fault Model).
+Framework errors (misconfiguration, protocol violations of the harness
+itself) derive from ``ReproError`` instead so they are never confused with
+injected or propagated system faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for errors of the framework itself."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration passed to a framework component."""
+
+
+class BudgetExhausted(ReproError):
+    """The 3PA protocol attempted to run past its test budget."""
+
+
+class UnknownSite(ReproError):
+    """A site id was used that is not present in the site registry."""
+
+
+class SimFault(Exception):
+    """Base class for fault effects raised inside simulated systems."""
+
+
+class InjectedFault(SimFault):
+    """A fault raised because an injection hook fired (not a natural one).
+
+    Carries the site id so traces can distinguish the injected occurrence
+    from natural occurrences of the same fault.
+    """
+
+    def __init__(self, site_id: str, wrapped: "SimFault") -> None:
+        super().__init__("injected %s at %s" % (type(wrapped).__name__, site_id))
+        self.site_id = site_id
+        self.wrapped = wrapped
+
+
+class IOEx(SimFault):
+    """Analogue of ``java.io.IOException``."""
+
+
+class RpcTimeout(IOEx):
+    """An RPC did not complete within its timeout."""
+
+
+class RpcFailure(IOEx):
+    """An RPC failed because the callee raised or was unreachable."""
+
+
+class NodeCrashed(SimFault):
+    """The target node of an operation has crashed."""
+
+
+class ReplicaAlreadyExists(IOEx):
+    """HDFS: temporary replica creation raced an existing replica."""
+
+
+class PrematureEndOfFile(IOEx):
+    """HBase: WAL reader hit a truncated trailing record."""
+
+
+class NotPrimary(IOEx):
+    """HDFS HA: RPC reached a NameNode that is no longer active."""
+
+
+class SafeModeException(IOEx):
+    """HDFS: NameNode rejects mutations while in safe mode."""

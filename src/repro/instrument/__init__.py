@@ -1,0 +1,25 @@
+"""Instrumentation layer: fault sites, static analyzer, runtime agent.
+
+This package substitutes the paper's WALA static analyzer and Byteman
+runtime agent.  Mini-systems *declare* their instrumented program locations
+in a :class:`~repro.instrument.sites.SiteRegistry` (with the same static
+metadata WALA would extract: loop nesting, I/O, bounds, detector purity) and
+call :class:`~repro.instrument.runtime.Runtime` hooks at those locations.
+The analyzer applies the paper's §4.1/§7 filtering rules; the runtime
+performs injection and records the traces fault causality analysis consumes.
+"""
+
+from .plan import InjectionPlan
+from .runtime import Runtime
+from .sites import FaultSite, SiteRegistry
+from .trace import FaultEvent, RunGroup, RunTrace
+
+__all__ = [
+    "FaultSite",
+    "SiteRegistry",
+    "Runtime",
+    "InjectionPlan",
+    "FaultEvent",
+    "RunTrace",
+    "RunGroup",
+]

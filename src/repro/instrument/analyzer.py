@@ -1,0 +1,122 @@
+"""Static analyzer: selects injectable faults from a site registry.
+
+Applies the paper's conservative filtering rules:
+
+* exceptions (§4.1): reflection- and security-related exceptions and
+  exceptions only reachable from tests are excluded;
+* loops (§4.1 scalability analysis): loops with a provably constant
+  iteration bound are excluded, as are the lowest-ranked 10% of loops by
+  reachable-code size unless they perform I/O;
+* detectors (§7): boolean functions whose return value depends only on
+  final/configuration variables, is constant/unused, or is computed purely
+  from primitive utility state are excluded.
+
+The output is the fault space ``F`` the 3PA protocol allocates budget over,
+plus the monitor-point inventory for the Table 2 reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..config import LOOP_SIZE_PRUNE_FRAC
+from ..types import FaultKey, SiteKind
+from .sites import FaultSite, SiteRegistry
+
+
+@dataclass
+class AnalysisResult:
+    """Injectable fault space plus bookkeeping for reporting."""
+
+    system: str
+    faults: List[FaultKey] = field(default_factory=list)
+    excluded: Dict[str, str] = field(default_factory=dict)  # site_id -> reason
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def fault_sites(self) -> List[str]:
+        return [f.site_id for f in self.faults]
+
+
+class StaticAnalyzer:
+    """Rule-based fault selection over a declared site registry."""
+
+    def __init__(self, registry: SiteRegistry, loop_prune_frac: float = LOOP_SIZE_PRUNE_FRAC) -> None:
+        self.registry = registry
+        self.loop_prune_frac = loop_prune_frac
+
+    # ----------------------------------------------------------- per-kind
+
+    def _select_throws(self, result: AnalysisResult) -> None:
+        for site in self.registry.by_kind(SiteKind.THROW) + self.registry.by_kind(SiteKind.LIB_CALL):
+            meta = site.throw
+            assert meta is not None
+            if meta.reflection_related:
+                result.excluded[site.site_id] = "reflection-related exception"
+            elif meta.security_related:
+                result.excluded[site.site_id] = "security-related exception"
+            elif meta.test_only:
+                result.excluded[site.site_id] = "only reachable from tests"
+            else:
+                result.faults.append(site.fault_key)
+
+    def _select_loops(self, result: AnalysisResult) -> None:
+        loops = self.registry.loops()
+        candidates: List[FaultSite] = []
+        for site in loops:
+            meta = site.loop
+            assert meta is not None
+            if meta.constant_bound:
+                result.excluded[site.site_id] = "constant iteration bound"
+            else:
+                candidates.append(site)
+        if not candidates:
+            return
+        # Rank by reachable-code size; prune the bottom fraction unless the
+        # loop performs I/O.
+        ranked = sorted(candidates, key=lambda s: (s.loop.body_size, s.site_id))
+        n_prune = math.floor(len(ranked) * self.loop_prune_frac)
+        pruned_ids = set()
+        for site in ranked[:n_prune]:
+            if not site.loop.does_io:
+                pruned_ids.add(site.site_id)
+                result.excluded[site.site_id] = "short loop without I/O (bottom %d%% by size)" % int(
+                    self.loop_prune_frac * 100
+                )
+        for site in candidates:
+            if site.site_id not in pruned_ids:
+                result.faults.append(site.fault_key)
+
+    def _select_detectors(self, result: AnalysisResult) -> None:
+        for site in self.registry.by_kind(SiteKind.DETECTOR):
+            meta = site.detector
+            assert meta is not None
+            if meta.final_only:
+                result.excluded[site.site_id] = "return depends only on final/config variables"
+            elif meta.constant_return:
+                result.excluded[site.site_id] = "constant return value"
+            elif meta.unused_return:
+                result.excluded[site.site_id] = "return value never used"
+            elif meta.primitive_only:
+                result.excluded[site.site_id] = "primitive-only utility predicate"
+            else:
+                result.faults.append(site.fault_key)
+
+    # -------------------------------------------------------------- driver
+
+    def analyze(self) -> AnalysisResult:
+        result = AnalysisResult(system=self.registry.system)
+        self._select_throws(result)
+        self._select_loops(result)
+        self._select_detectors(result)
+        result.faults.sort()
+        result.counts = self.registry.counts()
+        result.counts["injectable"] = len(result.faults)
+        result.counts["excluded"] = len(result.excluded)
+        return result
+
+
+def analyze(registry: SiteRegistry) -> AnalysisResult:
+    """Convenience wrapper: run the static analyzer with default settings."""
+    return StaticAnalyzer(registry).analyze()

@@ -1,0 +1,44 @@
+"""Injection plans: what the runtime agent arms for one run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..types import FaultKey, InjKind
+
+
+@dataclass(frozen=True)
+class InjectionPlan:
+    """One armed fault for one run.
+
+    * ``EXCEPTION``: a one-time throw the next time the guarding
+      if-statement (throw point) or library call site is reached.
+    * ``DELAY``: ``delay_ms`` of spinning added to **every** iteration of
+      the target loop.
+    * ``NEGATION``: the detector's return value is negated — on every call
+      while armed if ``sticky`` (default, a stuck error detector), else once.
+    """
+
+    fault: FaultKey
+    delay_ms: Optional[float] = None
+    sticky: bool = True
+    #: Injections stay dormant until this virtual time: firing the one-time
+    #: fault into a cold, empty system exercises nothing (§2's "different
+    #: time points" — we pick a warmed-up one).
+    warmup_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fault.kind is InjKind.DELAY and not self.delay_ms:
+            raise ValueError("delay injection requires delay_ms")
+        if self.fault.kind is not InjKind.DELAY and self.delay_ms:
+            raise ValueError("delay_ms only applies to delay injection")
+
+    @property
+    def site_id(self) -> str:
+        return self.fault.site_id
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.fault.kind is InjKind.DELAY:
+            return "%s(%.0fms)" % (self.fault, self.delay_ms or 0.0)
+        return str(self.fault)

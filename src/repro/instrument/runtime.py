@@ -1,0 +1,318 @@
+"""Runtime agent: fault injection hooks and trace recording.
+
+Mini-system code calls these hooks at its declared sites:
+
+* ``with rt.function("Cls.method"):`` — call-stack frame (2-call-site
+  sensitivity for local states);
+* ``if rt.branch("site", cond):`` — monitor point, records the outcome
+  locally (within the enclosing loop iteration or function);
+* ``for x in rt.loop("site", items):`` / ``while rt.loop_guard("site", c):``
+  — iteration counting, per-iteration local states, delay injection;
+* ``rt.throw_point("site", ExcCls, natural=cond)`` — throw point: raises
+  when the guard is naturally true or when an exception injection is armed;
+* ``value = rt.detector("site", value)`` — error detector: records natural
+  error returns and applies negation injection.
+
+The runtime is deliberately cheap when ``enabled=False`` so the §8.5
+overhead experiment can compare instrumented vs bare execution.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator, List, Optional, Type
+
+from ..config import MAX_STATES_PER_SITE
+from ..errors import SimFault, UnknownSite
+from ..types import FaultKey, InjKind, LocalState
+from .plan import InjectionPlan
+from .sites import SiteRegistry
+from .trace import FaultEvent, RunTrace
+
+_ROOT = "<root>"
+
+
+class _Scope:
+    """A local branch-recording scope: a function body or loop iteration.
+
+    ``owner`` is ``None`` for a function-body scope and the loop site id for
+    an iteration scope.
+    """
+
+    __slots__ = ("owner", "branches")
+
+    def __init__(self, owner: Optional[str]) -> None:
+        self.owner = owner
+        self.branches: List[tuple] = []
+
+
+class _Frame:
+    """One function invocation on the instrumented call stack."""
+
+    __slots__ = ("site", "scopes")
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        self.scopes: List[_Scope] = [_Scope(None)]
+
+
+class Runtime:
+    """Injection + monitoring agent for one run of one workload."""
+
+    def __init__(
+        self,
+        registry: SiteRegistry,
+        trace: Optional[RunTrace] = None,
+        plan: Optional[InjectionPlan] = None,
+        env: Any = None,
+        enabled: bool = True,
+    ) -> None:
+        self.registry = registry
+        self.trace = trace if trace is not None else RunTrace(test_id="<untracked>")
+        self.plan = plan
+        self.env = env
+        self.enabled = enabled
+        self._frames: List[_Frame] = []
+        self._exception_fired = False
+        self._negation_fired = False
+        self._injected_delay_iters = 0
+
+    def bind_env(self, env: Any) -> None:
+        """Attach the simulation environment (needed for delay injection)."""
+        self.env = env
+
+    # ------------------------------------------------------------- internals
+
+    def _now(self) -> float:
+        return self.env.now if self.env is not None else 0.0
+
+    def _spin(self, ms: float) -> None:
+        if self.env is not None:
+            self.env.spin(ms)
+
+    def _stack_above_enclosing(self) -> tuple:
+        """Closest two call-stack levels above the enclosing function."""
+        n = len(self._frames)
+        first = self._frames[n - 2].site if n >= 2 else _ROOT
+        second = self._frames[n - 3].site if n >= 3 else _ROOT
+        return (first, second)
+
+    def _local_state(self) -> LocalState:
+        branches = tuple(self._frames[-1].scopes[-1].branches) if self._frames else ()
+        return LocalState(self._stack_above_enclosing(), branches)
+
+    def _armed(self, site_id: str, kind: InjKind) -> bool:
+        return (
+            self.plan is not None
+            and self.plan.fault.site_id == site_id
+            and self.plan.fault.kind is kind
+            and self._now() >= self.plan.warmup_ms
+        )
+
+    def _record_iteration_state(self, site_id: str, scope: _Scope) -> None:
+        state = LocalState(self._stack_above_enclosing(), tuple(scope.branches))
+        states = self.trace.loop_states.setdefault(site_id, set())
+        if len(states) < MAX_STATES_PER_SITE:
+            states.add(state)
+
+    # ----------------------------------------------------------- call stack
+
+    @contextmanager
+    def function(self, site_id: str) -> Iterator[None]:
+        """Push an instrumented function frame."""
+        if not self.enabled:
+            yield
+            return
+        self._frames.append(_Frame(site_id))
+        try:
+            yield
+        finally:
+            self._frames.pop()
+
+    # -------------------------------------------------------------- branches
+
+    def branch(self, site_id: str, cond: Any) -> bool:
+        """Record a monitor-point branch outcome; returns ``bool(cond)``."""
+        outcome = bool(cond)
+        if not self.enabled:
+            return outcome
+        self.trace.reached.add(site_id)
+        self.trace.branches_recorded += 1
+        if self._frames:
+            self._frames[-1].scopes[-1].branches.append((site_id, outcome))
+        return outcome
+
+    # ----------------------------------------------------------------- loops
+
+    def loop(self, site_id: str, iterable: Iterable) -> Iterator:
+        """Instrumented ``for`` loop: counts iterations, records local
+        per-iteration states, and applies armed delay injection at the top
+        of every iteration."""
+        if not self.enabled:
+            for item in iterable:
+                yield item
+            return
+        delay = self.plan.delay_ms if self._armed(site_id, InjKind.DELAY) else None
+        frame = self._frames[-1] if self._frames else None
+        for item in iterable:
+            self.trace.loop_counts[site_id] += 1
+            self.trace.reached.add(site_id)
+            scope = _Scope(site_id)
+            if frame is not None:
+                frame.scopes.append(scope)
+            if delay:
+                self._spin(delay)
+                self._injected_delay_iters += 1
+            try:
+                yield item
+            finally:
+                if frame is not None:
+                    while frame.scopes and frame.scopes[-1] is not scope:
+                        frame.scopes.pop()
+                    if frame.scopes and frame.scopes[-1] is scope:
+                        frame.scopes.pop()
+                self._record_iteration_state(site_id, scope)
+
+    def loop_guard(self, site_id: str, cond: Any) -> bool:
+        """Instrumented ``while`` guard.
+
+        Counts an iteration each time the guard evaluates true.  The scope
+        of the previous iteration of *this* loop (identified by owner tag)
+        is closed and its state recorded; abandoned scopes of inner loops
+        exited via exceptions are discarded along the way.
+        """
+        outcome = bool(cond)
+        if not self.enabled:
+            return outcome
+        frame = self._frames[-1] if self._frames else None
+        if frame is not None:
+            open_idx = None
+            for i in range(len(frame.scopes) - 1, 0, -1):
+                if frame.scopes[i].owner == site_id:
+                    open_idx = i
+                    break
+            if open_idx is not None:
+                closed = frame.scopes[open_idx]
+                del frame.scopes[open_idx:]
+                self._record_iteration_state(site_id, closed)
+        if not outcome:
+            return False
+        self.trace.loop_counts[site_id] += 1
+        self.trace.reached.add(site_id)
+        if frame is not None:
+            frame.scopes.append(_Scope(site_id))
+        if self._armed(site_id, InjKind.DELAY):
+            self._spin(self.plan.delay_ms or 0.0)
+            self._injected_delay_iters += 1
+        return True
+
+    # ------------------------------------------------------------ exceptions
+
+    def throw_point(
+        self,
+        site_id: str,
+        exc_cls: Type[SimFault],
+        natural: Any = False,
+    ) -> None:
+        """Throw point / library-call site.
+
+        Raises ``exc_cls`` if the natural guard holds; raises a one-time
+        injected instance if an exception injection is armed for this site.
+        """
+        if not self.enabled:
+            if natural:
+                raise exc_cls("natural fault at %s" % site_id)
+            return
+        self.trace.reached.add(site_id)
+        key = FaultKey(site_id, InjKind.EXCEPTION)
+        if self._armed(site_id, InjKind.EXCEPTION) and not self._exception_fired:
+            self._exception_fired = True
+            self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=True))
+            # Raise the *same* exception type the site naturally throws so
+            # the system's own handlers catch it (software-implemented fault
+            # injection: we inject the effect, not a marker).
+            raise exc_cls("injected fault at %s" % site_id)
+        if natural:
+            self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=False))
+            raise exc_cls("natural fault at %s" % site_id)
+
+    def lib_call(self, site_id: str, exc_cls: Type[SimFault], fn, *args, **kwargs):
+        """Library-call exception site (§4.1).
+
+        The site is *reached* on every invocation (which is where the paper
+        injects the declared exception), an armed exception injection fires
+        one-time instead of calling the library, and a natural raise of the
+        declared exception type is recorded as a fault occurrence before
+        propagating.
+        """
+        if not self.enabled:
+            return fn(*args, **kwargs)
+        self.trace.reached.add(site_id)
+        key = FaultKey(site_id, InjKind.EXCEPTION)
+        if self._armed(site_id, InjKind.EXCEPTION) and not self._exception_fired:
+            self._exception_fired = True
+            self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=True))
+            raise exc_cls("injected fault at %s" % site_id)
+        try:
+            return fn(*args, **kwargs)
+        except exc_cls:
+            self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=False))
+            raise
+
+    def rpc_call(self, site_id: str, exc_cls: Type[SimFault], fn, *args, **kwargs):
+        """RPC invocation site with *response-loss* injection semantics.
+
+        Like :meth:`lib_call`, but an armed exception injection lets the
+        remote call **execute first** and then raises the declared
+        exception — the fault effect of a ``SocketTimeoutException`` on a
+        completed-but-slow RPC (request delivered, response lost).  This is
+        the code path retry-duplication cascades (e.g. HDFS IBR resends)
+        feed on; injecting before the call would simulate a connect failure
+        instead and mask them.
+        """
+        if not self.enabled:
+            return fn(*args, **kwargs)
+        self.trace.reached.add(site_id)
+        key = FaultKey(site_id, InjKind.EXCEPTION)
+        armed = self._armed(site_id, InjKind.EXCEPTION) and not self._exception_fired
+        try:
+            result = fn(*args, **kwargs)
+        except exc_cls:
+            self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=False))
+            raise
+        if armed:
+            self._exception_fired = True
+            self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=True))
+            raise exc_cls("injected response loss at %s" % site_id)
+        return result
+
+    # ------------------------------------------------------------- detectors
+
+    def detector(self, site_id: str, value: Any) -> bool:
+        """Error-detector site: returns the (possibly negated) value."""
+        result = bool(value)
+        if not self.enabled:
+            return result
+        self.trace.reached.add(site_id)
+        key = FaultKey(site_id, InjKind.NEGATION)
+        if self._armed(site_id, InjKind.NEGATION) and (
+            self.plan.sticky or not self._negation_fired
+        ):
+            self._negation_fired = True
+            self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=True))
+            return not result
+        try:
+            meta = self.registry.get(site_id).detector
+        except UnknownSite:
+            meta = None
+        error_value = meta.error_value if meta is not None else True
+        if result == error_value:
+            self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=False))
+        return result
+
+
+class NullRuntime(Runtime):
+    """A disabled runtime with the same interface (overhead baseline)."""
+
+    def __init__(self, registry: SiteRegistry) -> None:
+        super().__init__(registry, trace=None, plan=None, env=None, enabled=False)

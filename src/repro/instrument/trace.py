@@ -1,0 +1,143 @@
+"""Execution traces recorded by the runtime agent.
+
+A :class:`RunTrace` is everything fault causality analysis needs from one
+run: the fault events encountered (with their local states), per-loop
+iteration counts (with local iteration states), and the set of sites
+reached.  A :class:`RunGroup` bundles the repeated runs (default five) of
+one (test, injection) combination.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..config import MAX_STATES_PER_SITE
+from ..types import FaultKey, LocalState, StateSet
+from .plan import InjectionPlan
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One occurrence of a fault (natural or injected) during a run."""
+
+    fault: FaultKey
+    time: float
+    state: LocalState
+    injected: bool = False
+
+
+@dataclass
+class RunTrace:
+    """Trace of a single run of a single test."""
+
+    test_id: str
+    injection: Optional[InjectionPlan] = None
+    seed: int = 0
+    events: List[FaultEvent] = field(default_factory=list)
+    loop_counts: Counter = field(default_factory=Counter)
+    loop_states: Dict[str, Set[LocalState]] = field(default_factory=dict)
+    reached: Set[str] = field(default_factory=set)
+    branches_recorded: int = 0
+    saturated: bool = False
+    wall_time_s: float = 0.0
+    virtual_end_ms: float = 0.0
+
+    # ------------------------------------------------------------ recording
+
+    def record_event(self, event: FaultEvent) -> None:
+        self.events.append(event)
+        self.reached.add(event.fault.site_id)
+
+    def record_loop_iteration(self, site_id: str, state: Optional[LocalState]) -> None:
+        self.loop_counts[site_id] += 1
+        self.reached.add(site_id)
+        if state is not None:
+            states = self.loop_states.setdefault(site_id, set())
+            if len(states) < MAX_STATES_PER_SITE:
+                states.add(state)
+
+    # -------------------------------------------------------------- queries
+
+    def natural_faults(self) -> Set[FaultKey]:
+        """Faults that occurred without being the injected one."""
+        return {e.fault for e in self.events if not e.injected}
+
+    def states_of(self, fault: FaultKey, natural_only: bool = True) -> StateSet:
+        states = {
+            e.state for e in self.events if e.fault == fault and (not natural_only or not e.injected)
+        }
+        return frozenset(states)
+
+    def injected_states(self) -> StateSet:
+        """Local states at which the armed injection actually fired."""
+        if self.injection is None:
+            return frozenset()
+        from ..types import InjKind
+
+        if self.injection.fault.kind is InjKind.DELAY:
+            return frozenset(self.loop_states.get(self.injection.site_id, set()))
+        return frozenset(e.state for e in self.events if e.injected)
+
+
+@dataclass
+class RunGroup:
+    """The repeated runs of one (test, injection) combination."""
+
+    test_id: str
+    injection: Optional[InjectionPlan]
+    runs: List[RunTrace] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def add(self, run: RunTrace) -> None:
+        if run.test_id != self.test_id:
+            raise ValueError("run belongs to test %s, not %s" % (run.test_id, self.test_id))
+        self.runs.append(run)
+
+    def loop_samples(self, site_id: str) -> List[int]:
+        """Iteration counts of ``site_id`` across the repeated runs."""
+        return [run.loop_counts.get(site_id, 0) for run in self.runs]
+
+    def fault_occurrence_frac(self, fault: FaultKey) -> float:
+        """Fraction of runs in which ``fault`` occurred naturally."""
+        if not self.runs:
+            return 0.0
+        hits = sum(1 for run in self.runs if fault in run.natural_faults())
+        return hits / len(self.runs)
+
+    def natural_faults(self) -> Set[FaultKey]:
+        out: Set[FaultKey] = set()
+        for run in self.runs:
+            out |= run.natural_faults()
+        return out
+
+    def states_of(self, fault: FaultKey) -> StateSet:
+        states: Set[LocalState] = set()
+        for run in self.runs:
+            states |= run.states_of(fault)
+        return frozenset(states)
+
+    def loop_states_of(self, site_id: str) -> StateSet:
+        states: Set[LocalState] = set()
+        for run in self.runs:
+            states |= run.loop_states.get(site_id, set())
+        return frozenset(states)
+
+    def injected_states(self) -> StateSet:
+        states: Set[LocalState] = set()
+        for run in self.runs:
+            states |= run.injected_states()
+        return frozenset(states)
+
+    def reached(self) -> Set[str]:
+        out: Set[str] = set()
+        for run in self.runs:
+            out |= run.reached
+        return out
+
+    def coverage(self) -> int:
+        """Coverage score of the test: number of distinct sites reached."""
+        return len(self.reached())

@@ -1,0 +1,42 @@
+"""Node base class for simulated cluster members."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import NodeCrashed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .events import SimEnv
+
+
+class Node:
+    """A single-threaded cluster member with a ``busy_until`` horizon.
+
+    Subclasses implement protocol handlers as plain methods; the environment
+    charges their processing cost (``env.spin``) to this node, delaying its
+    subsequently scheduled work.
+    """
+
+    def __init__(self, env: "SimEnv", name: str) -> None:
+        self.env = env
+        self.name = name
+        self.busy_until = 0.0
+        self.crashed = False
+        env.nodes.append(self)
+
+    def crash(self) -> None:
+        """Stop executing handlers; pending events for this node are dropped."""
+        self.crashed = True
+
+    def restart(self) -> None:
+        self.crashed = False
+        self.busy_until = self.env.now
+
+    def check_alive(self) -> None:
+        """Raise if a synchronous call reached a crashed node."""
+        if self.crashed:
+            raise NodeCrashed(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<Node %s>" % self.name

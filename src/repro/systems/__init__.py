@@ -1,0 +1,66 @@
+"""Target-system registry.
+
+Five simulated distributed systems mirror the paper's evaluation targets
+(HDFS 2.10.2, HDFS 3.4.1, HBase 2.6.0, Flink 1.20.0, Ozone 1.4.0), plus a
+small ``toy`` system used by the quickstart and the test suite::
+
+    from repro.systems import get_system
+    spec = get_system("minihdfs2")
+"""
+
+from typing import Callable, Dict, List
+
+from .base import KnownBug, SystemSpec, WorkloadSpec
+
+_BUILDERS: Dict[str, Callable[[], SystemSpec]] = {}
+
+
+def _register(name: str, builder: Callable[[], SystemSpec]) -> None:
+    _BUILDERS[name] = builder
+
+
+def get_system(name: str) -> SystemSpec:
+    """Build the named system spec (fresh instance each call)."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown system %r (available: %s)" % (name, ", ".join(sorted(_BUILDERS)))
+        ) from None
+    return builder()
+
+
+def available_systems() -> List[str]:
+    return sorted(_BUILDERS)
+
+
+def evaluation_systems() -> List[str]:
+    """The five paper-evaluation targets (excludes the toy system)."""
+    return ["minihdfs2", "minihdfs3", "minihbase", "miniflink", "miniozone"]
+
+
+def _build_registry_table() -> None:
+    from .minihbase import build_system as _hbase
+    from .minihdfs import build_system as _hdfs
+    from .miniflink import build_system as _flink
+    from .miniozone import build_system as _ozone
+    from .toy import build_system as _toy
+
+    _register("toy", _toy)
+    _register("minihdfs2", lambda: _hdfs(2))
+    _register("minihdfs3", lambda: _hdfs(3))
+    _register("minihbase", _hbase)
+    _register("miniflink", _flink)
+    _register("miniozone", _ozone)
+
+
+_build_registry_table()
+
+__all__ = [
+    "SystemSpec",
+    "WorkloadSpec",
+    "KnownBug",
+    "get_system",
+    "available_systems",
+    "evaluation_systems",
+]

@@ -1,0 +1,76 @@
+"""Target-system abstraction: what the CSnake pipeline needs from a system.
+
+A :class:`SystemSpec` bundles a site registry (the static view), a suite of
+integration-test workloads (the dynamic view), and the system's known
+self-sustaining cascade bugs (the evaluation ground truth for Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional
+
+from ..config import SimConfig
+from ..instrument.sites import SiteRegistry
+from ..types import FaultKey
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.cycles import Cycle
+    from ..instrument.runtime import Runtime
+    from ..sim import SimEnv
+
+#: A workload body: builds the cluster on ``env`` (instrumented through
+#: ``rt``) and schedules the client operations; the driver then calls
+#: ``env.run``.
+WorkloadFn = Callable[["SimEnv", "Runtime"], None]
+
+
+@dataclass
+class WorkloadSpec:
+    """One integration test shipped with the target system."""
+
+    test_id: str
+    description: str
+    setup: WorkloadFn
+    duration_ms: float = 120_000.0
+    sim_config: Optional[SimConfig] = None
+
+
+@dataclass(frozen=True)
+class KnownBug:
+    """Ground-truth self-sustaining cascading failure (a Table 3 row)."""
+
+    bug_id: str
+    description: str
+    signature: str  # expected cycle composition, e.g. "1D|2E|0N"
+    core_faults: FrozenSet[FaultKey]
+    alt_detectable: bool = False  # naive single-fault strategy finds it (§8.2)
+    jira: str = ""
+
+    def matches(self, cycle: "Cycle") -> bool:
+        """A reported cycle exposes this bug if it involves every core fault."""
+        return self.core_faults <= cycle.fault_set()
+
+
+@dataclass
+class SystemSpec:
+    """A target system: registry + workloads + ground truth."""
+
+    name: str
+    registry: SiteRegistry
+    workloads: Dict[str, WorkloadSpec] = field(default_factory=dict)
+    known_bugs: List[KnownBug] = field(default_factory=list)
+
+    def add_workload(self, spec: WorkloadSpec) -> None:
+        if spec.test_id in self.workloads:
+            raise ValueError("duplicate workload %s" % spec.test_id)
+        self.workloads[spec.test_id] = spec
+
+    def workload_ids(self) -> List[str]:
+        return sorted(self.workloads)
+
+    def bug(self, bug_id: str) -> KnownBug:
+        for bug in self.known_bugs:
+            if bug.bug_id == bug_id:
+                return bug
+        raise KeyError(bug_id)

@@ -1,0 +1,6 @@
+"""MiniFlink: JobManager + TaskManagers running a head→agg→sink pipeline."""
+
+from .build import build_system
+from .sites import build_registry
+
+__all__ = ["build_system", "build_registry"]

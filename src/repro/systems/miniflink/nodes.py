@@ -1,0 +1,293 @@
+"""MiniFlink nodes: a JobManager and TaskManagers running head→agg→sink.
+
+FL-1: a slow sink backs up the pipeline until the head task fails; the
+restart strategy cancels all tasks — cancelling a sink with in-flight data
+fails — and the dirty restart replays records into the very worker loops
+that were already too slow.
+
+FL-2: a slow aggregator misses barrier alignment (CheckpointException);
+the checkpoint-failure policy cancels the task, which may be mid-restore
+(IllegalStateException), and the ensuing dirty restart replays records
+into the aggregator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...errors import IOEx
+from ...instrument.runtime import Runtime
+from ...sim import Node, SimEnv
+
+
+class TaskException(IOEx):
+    """A task failed permanently (head input stall, etc.)."""
+
+
+class CheckpointException(IOEx):
+    """A barrier could not be aligned in time."""
+
+
+class CancelTaskException(IOEx):
+    """Cancelling a task with in-flight data failed."""
+
+
+class IllegalState(IOEx):
+    """A lifecycle transition hit a task in an incompatible state."""
+
+
+class FlinkConfig:
+    def __init__(self, **kw: object) -> None:
+        self.source_interval_ms = 2_000.0
+        self.records_per_tick = 10
+        self.record_cost_ms = 0.5
+        self.forward_timeout_ms = 10_000.0
+        self.head_fail_after = 3  # consecutive forward failures
+        self.restart_strategy = "none"  # or "full"
+        self.rescale_interval_ms = 0.0  # periodic clean restarts (0 = off)
+        self.cancel_drain_cap = 20  # in-flight records a cancel can drain
+        self.sink_flush_interval_ms = 4_000.0
+        self.replay_batch = 40  # records replayed on a dirty restart
+        self.checkpoints = False
+        self.cp_interval_ms = 5_000.0
+        self.cp_align_cap = 30  # backlog that breaks barrier alignment
+        self.cp_failure_action = "ignore"  # or "fail_task"
+        self.deploy_grace_ms = 1.0  # DEPLOYING lingers this long after restore
+        for key, value in kw.items():
+            if not hasattr(self, key):
+                raise TypeError("unknown FlinkConfig option %r" % key)
+            setattr(self, key, value)
+
+
+class TaskManager(Node):
+    def __init__(self, env: SimEnv, rt: Runtime, cfg: FlinkConfig, role: str, index: int) -> None:
+        super().__init__(env, "tm-%s%d" % (role, index))
+        self.rt = rt
+        self.cfg = cfg
+        self.role = role
+        self.state = "RUNNING"
+        self.backlog: List[int] = []
+        self.downstream: Optional["TaskManager"] = None
+        self.jm: Optional["JobManager"] = None
+        self.processed = 0
+        self._forward_failures = 0
+        self._deploy_epoch = 0
+        self.out_buffer = 0  # sink: emitted but not yet flushed downstream
+        if role == "sink":
+            env.every(self, cfg.sink_flush_interval_ms, self.flush_outputs)
+        if role == "head":
+            env.every(self, cfg.source_interval_ms, self.process_head, jitter_ms=80.0)
+        else:
+            env.every(self, cfg.source_interval_ms, self.process_tick, jitter_ms=80.0)
+
+    # ------------------------------------------------------------ processing
+
+    def process_head(self) -> None:
+        """Source + head task: consume fresh records and forward downstream.
+
+        The stall guard runs at the top of every tick: a head that failed to
+        forward ``head_fail_after`` consecutive times declares itself failed
+        (the throw point is therefore reached — and injectable — on every
+        tick, not only after natural failures)."""
+        if self.state != "RUNNING":
+            return
+        with self.rt.function("TaskManager.process_head"):
+            # (the stall state is the head-failure guard; not a monitor point)
+            stalled = self._forward_failures >= self.cfg.head_fail_after
+            try:
+                self.rt.throw_point("tm.head.fail", TaskException, natural=stalled)
+            except TaskException:
+                self.state = "FAILED"
+                self._forward_failures = 0
+                if self.jm is not None:
+                    self.env.send(self.jm, self.jm.report_failure, self.name)
+                return
+            self.backlog.extend([1] * self.cfg.records_per_tick)
+            batch, self.backlog = self.backlog, []
+            done = 0
+            for _rec in self.rt.loop("tm.head.process", batch):
+                self.env.spin(self.cfg.record_cost_ms)
+                done += 1
+            try:
+                if self.downstream is not None:
+                    self.rt.lib_call(
+                        "tm.forward.rpc", IOEx, self.env.rpc, self.downstream,
+                        self.downstream.receive, done,
+                        timeout_ms=self.cfg.forward_timeout_ms,
+                    )
+                self._forward_failures = max(0, self._forward_failures - 1)
+                self.processed += done
+            except IOEx:
+                self._forward_failures += 1
+                self.backlog.extend([1] * done)  # keep the batch for retry
+
+    def process_tick(self) -> None:
+        """Aggregator / sink worker loop (DEPLOYING tasks already process —
+        the restore grace only gates lifecycle transitions)."""
+        if self.state not in ("RUNNING", "DEPLOYING"):
+            return
+        site = "tm.%s.process" % self.role
+        with self.rt.function("TaskManager.process_%s" % self.role):
+            batch, self.backlog = self.backlog, []
+            done = 0
+            for _rec in self.rt.loop(site, batch):
+                self.env.spin(self.cfg.record_cost_ms)
+                done += 1
+            if self.downstream is not None and done:
+                try:
+                    self.env.rpc(
+                        self.downstream, self.downstream.receive, done,
+                        timeout_ms=self.cfg.forward_timeout_ms,
+                    )
+                except IOEx:
+                    self.backlog.extend([1] * done)
+                    return
+            if self.role == "sink":
+                self.out_buffer += done
+            self.processed += done
+
+    def receive(self, n: int) -> None:
+        self.check_alive()
+        if self.state not in ("RUNNING", "DEPLOYING"):
+            raise IOEx("%s not running" % self.name)
+        self.backlog.extend([1] * n)
+        self.env.spin(0.1 * n)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def deploy_task(self, replay: int) -> None:
+        self.check_alive()
+        with self.rt.function("TaskManager.deploy_task"):
+            self.state = "DEPLOYING"
+            for _item in self.rt.loop("tm.state.restore", range(replay)):
+                self.env.spin(1.0)
+            self.backlog.extend([1] * replay)
+            # State restore finishes asynchronously: the task stays in
+            # DEPLOYING for the restore-grace window (large state takes a
+            # while to register), so a cancel landing in the window hits an
+            # illegal lifecycle transition.
+            epoch = self._deploy_epoch = self._deploy_epoch + 1
+
+            def finish() -> None:
+                if self.state == "DEPLOYING" and self._deploy_epoch == epoch:
+                    self.state = "RUNNING"
+
+            self.env.after(self, self.cfg.deploy_grace_ms, finish)
+
+    def flush_outputs(self) -> None:
+        """Sink output flush: emitted records are acknowledged in batches."""
+        self.env.spin(0.1 * self.out_buffer)
+        self.out_buffer = 0
+
+    def cancel_task(self) -> int:
+        self.check_alive()
+        with self.rt.function("TaskManager.cancel_task"):
+            mid_transition = self.state == "DEPLOYING"
+            self.rt.throw_point("tm.state.transition", IllegalState, natural=mid_transition)
+            inflight = len(self.backlog) + self.out_buffer
+            self.state = "CANCELLED"
+            self.env.spin(0.5)
+            return inflight
+
+    def on_barrier(self, cp_id: int) -> bool:
+        self.check_alive()
+        with self.rt.function("TaskManager.on_barrier"):
+            aligned = len(self.backlog) <= self.cfg.cp_align_cap
+            self.rt.throw_point("tm.barrier.fail", CheckpointException, natural=not aligned)
+            self.env.spin(0.5)
+            return True
+
+
+class JobManager(Node):
+    def __init__(self, env: SimEnv, rt: Runtime, cfg: FlinkConfig) -> None:
+        super().__init__(env, "jobmanager")
+        self.rt = rt
+        self.cfg = cfg
+        self.tasks: Dict[str, TaskManager] = {}
+        self.restarts = 0
+        self.checkpoints_ok = 0
+        self._cp_seq = 0
+        if cfg.rescale_interval_ms > 0:
+            env.every(self, cfg.rescale_interval_ms, self.rescale)
+        if cfg.checkpoints:
+            env.every(self, cfg.cp_interval_ms, self.checkpoint_tick)
+
+    def attach(self, head: TaskManager, agg: TaskManager, sink: TaskManager) -> None:
+        self.tasks = {"head": head, "agg": agg, "sink": sink}
+        head.downstream = agg
+        agg.downstream = sink
+        for tm in self.tasks.values():
+            tm.jm = self
+
+    # --------------------------------------------------------------- restart
+
+    def report_failure(self, task_name: str) -> None:
+        if self.rt.branch("jm.restart.b_strategy", self.cfg.restart_strategy == "full"):
+            self._schedule_restart(dirty=True)
+
+    def rescale(self) -> None:
+        self._schedule_restart(dirty=False)
+
+    def _schedule_restart(self, dirty: bool) -> None:
+        """All restarts run as their own scheduler action, whatever
+        triggered them (failure report, rescale, checkpoint failure)."""
+        self.env.after(self, 1.0, self.restart_job, dirty)
+
+    def restart_job(self, dirty: bool) -> None:
+        """Cancel every task, then redeploy (with replay if dirty)."""
+        with self.rt.function("JobManager.restart_job"):
+            self.restarts += 1
+            for role in self.rt.loop("jm.cancel.tasks", sorted(self.tasks)):
+                tm = self.tasks[role]
+                try:
+                    inflight = self.env.rpc(tm, tm.cancel_task)
+                except IOEx:
+                    dirty = True
+                    continue
+                try:
+                    self.rt.throw_point(
+                        "jm.sink.cancel",
+                        CancelTaskException,
+                        natural=(role == "sink" and inflight > self.cfg.cancel_drain_cap),
+                    )
+                except CancelTaskException:
+                    # In-flight data lost: the restart must replay.
+                    dirty = True
+            self.redeploy(dirty)
+
+    def redeploy(self, dirty: bool) -> None:
+        with self.rt.function("JobManager.redeploy"):
+            replay = self.cfg.replay_batch if dirty else 0
+            live = [tm for tm in self.tasks.values() if not tm.crashed]
+            self.rt.throw_point("jm.no_slots", IOEx, natural=not live)
+            for role in self.rt.loop("jm.deploy.tasks", sorted(self.tasks)):
+                tm = self.tasks[role]
+                try:
+                    self.rt.lib_call(
+                        "jm.deploy.rpc", IOEx, self.env.rpc, tm, tm.deploy_task,
+                        replay if role != "head" else 0,
+                    )
+                except IOEx:
+                    continue
+
+    # ------------------------------------------------------------ checkpoint
+
+    def checkpoint_tick(self) -> None:
+        with self.rt.function("JobManager.checkpoint_tick"):
+            self._cp_seq += 1
+            self.rt.branch("jm.cp.b_pending", False)
+            stalled_task: Optional[TaskManager] = None
+            for role in sorted(self.tasks):
+                tm = self.tasks[role]
+                try:
+                    self.env.rpc(tm, tm.on_barrier, self._cp_seq, timeout_ms=10_000.0)
+                except CheckpointException:
+                    stalled_task = tm
+                except IOEx:
+                    stalled_task = tm
+            stalled = self.rt.detector("jm.cp.is_stalled", stalled_task is not None)
+            if stalled:
+                if self.cfg.cp_failure_action == "fail_task":
+                    self._schedule_restart(dirty=True)
+            else:
+                self.checkpoints_ok += 1

@@ -1,0 +1,6 @@
+"""MiniHBase: HMaster + RegionServers with the §8.3.1 case-study bugs."""
+
+from .build import build_system
+from .sites import build_registry
+
+__all__ = ["build_system", "build_registry"]

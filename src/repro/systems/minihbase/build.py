@@ -1,0 +1,54 @@
+"""Assemble the MiniHBase system spec."""
+
+from __future__ import annotations
+
+from ...types import FaultKey, InjKind
+from ...workloads.hbase import hbase_workloads
+from ..base import KnownBug, SystemSpec
+from .sites import build_registry
+
+
+def build_system() -> SystemSpec:
+    spec = SystemSpec(name="minihbase", registry=build_registry())
+    for workload in hbase_workloads():
+        spec.add_workload(workload)
+    spec.known_bugs = [
+        KnownBug(
+            bug_id="HB-1",
+            description=(
+                "A slow WAL roll tears the segment tail; the next roll's "
+                "validator hits PrematureEndOfFile and repairs by "
+                "re-appending the tail, growing the roll that was already "
+                "too slow."
+            ),
+            signature="1D|0E|1N",
+            core_faults=frozenset(
+                {
+                    FaultKey("rs.wal.roll", InjKind.DELAY),
+                    FaultKey("rs.wal.premature_eof", InjKind.NEGATION),
+                }
+            ),
+            alt_detectable=True,
+            jira="HBASE-29600",
+        ),
+        KnownBug(
+            bug_id="HB-2",
+            description=(
+                "§8.3.1: region deployment overload times out assignment "
+                "RPCs; the IOE excludes the server from the favored set, "
+                "canPlaceFavoredNodes fails below three servers, and the "
+                "blind assignment retry reloads the deployment loop."
+            ),
+            signature="1D|1E|1N",
+            core_faults=frozenset(
+                {
+                    FaultKey("rs.deploy.regions", InjKind.DELAY),
+                    FaultKey("hm.assign.rpc", InjKind.EXCEPTION),
+                    FaultKey("hm.balancer.can_place", InjKind.NEGATION),
+                }
+            ),
+            alt_detectable=False,
+            jira="HBASE-29006",
+        ),
+    ]
+    return spec

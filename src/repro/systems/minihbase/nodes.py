@@ -1,0 +1,266 @@
+"""MiniHBase nodes: HMaster, RegionServers, and an admin/write client.
+
+The §8.3.1 self-sustaining cascade (HB-2) lives in the interplay of three
+config-gated behaviours:
+
+* region deployment is a queue drained by a periodic RegionServer loop —
+  overload shows up as assignment RPC timeouts at the master;
+* with the ``favored`` balancer, an assignment IOE *excludes* the server
+  from the favored set, and ``canPlaceFavoredNodes`` fails when fewer than
+  three favored servers remain;
+* a balancer failure is handled by blindly re-queueing the assignment.
+
+HB-1 (WAL roll) is self-contained: a slow roll leaves a torn tail that the
+next roll's validator flags (PrematureEndOfFile), and the repair re-appends
+the tail — growing the next roll.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from ...errors import IOEx, PrematureEndOfFile
+from ...instrument.runtime import Runtime
+from ...sim import Node, SimEnv
+
+
+class HbaseConfig:
+    """Per-workload knobs (kept as a plain attribute bag)."""
+
+    def __init__(self, **kw: object) -> None:
+        self.n_regionservers = 4
+        self.balancer = "simple"  # or "favored"
+        self.favored_min = 3
+        self.assign_rpc_timeout_ms = 10_000.0
+        self.assign_tick_ms = 2_000.0
+        self.deploy_tick_ms = 2_000.0
+        self.deploy_cost_ms = 3.0
+        self.rs_overload_cap = 60  # queued regions before open_region rejects
+        self.wal_roll_interval_ms = 4_000.0
+        self.wal_entry_cost_ms = 0.2
+        self.wal_torn_gap_ms = 10_000.0  # roll gap that tears the tail
+        self.wal_repair_entries = 12
+        self.report_interval_ms = 3_000.0
+        for key, value in kw.items():
+            if not hasattr(self, key):
+                raise TypeError("unknown HbaseConfig option %r" % key)
+            setattr(self, key, value)
+
+
+class HMaster(Node):
+    def __init__(self, env: SimEnv, rt: Runtime, cfg: HbaseConfig) -> None:
+        super().__init__(env, "hmaster")
+        self.rt = rt
+        self.cfg = cfg
+        self.regionservers: List["RegionServer"] = []
+        self.excluded: set = set()  # RSes excluded from the favored set
+        self.assign_queue: deque = deque()
+        self.assigned: Dict[str, str] = {}
+        self.retries = 0
+        env.every(self, cfg.assign_tick_ms, self.assign_tick)
+
+    # ------------------------------------------------------------- balancer
+
+    def _favored_live(self) -> List["RegionServer"]:
+        return [rs for rs in self.regionservers if rs.name not in self.excluded and not rs.crashed]
+
+    def can_place_favored(self) -> bool:
+        """FavoredStochasticBalancer.canPlaceFavoredNodes (§8.3.1): needs at
+        least ``favored_min`` live, non-excluded servers."""
+        healthy = len(self._favored_live()) >= self.cfg.favored_min
+        return self.rt.detector("hm.balancer.can_place", healthy)
+
+    def _pick_server(self, seq: int) -> Optional["RegionServer"]:
+        if self.cfg.balancer == "favored":
+            if not self.can_place_favored():
+                return None  # balancer failure
+            live = self._favored_live()
+        else:
+            live = [rs for rs in self.regionservers if not rs.crashed]
+        if not live:
+            return None
+        return live[seq % len(live)]
+
+    # ----------------------------------------------------------- assignment
+
+    def request_assign(self, region: str) -> None:
+        self.check_alive()
+        self.assign_queue.append(region)
+
+    def assign_tick(self) -> None:
+        with self.rt.function("HMaster.assign_tick"):
+            batch, self.assign_queue = list(self.assign_queue), deque()
+            for i, region in enumerate(self.rt.loop("hm.assign.queue", batch)):
+                self.env.spin(0.5)
+                favored = self.rt.branch(
+                    "hm.assign.b_favored", self.cfg.balancer == "favored"
+                )
+                target = self._pick_server(i)
+                if target is None:
+                    # THE BUG (HB-2): the balancer failed; the handler
+                    # blindly re-queues the assignment AND rebuilds the
+                    # placement plan, re-assigning already-placed regions.
+                    self.rt.branch("hm.assign.b_retry", True)
+                    self.retries += 1
+                    self.assign_queue.append(region)
+                    for moved in sorted(self.assigned)[:25]:
+                        self.assign_queue.append(moved)
+                        del self.assigned[moved]
+                    continue
+                try:
+                    self.rt.lib_call(
+                        "hm.assign.rpc", IOEx, self.env.rpc, target, target.open_region,
+                        region, timeout_ms=self.cfg.assign_rpc_timeout_ms,
+                    )
+                    self.assigned[region] = target.name
+                except IOEx:
+                    self.rt.branch("hm.assign.b_retry", True)
+                    self.retries += 1
+                    if favored:
+                        # An IOE excludes the server from the favored set.
+                        self.excluded.add(target.name)
+                    self.assign_queue.append(region)  # blind retry
+
+
+class RegionServer(Node):
+    def __init__(self, env: SimEnv, rt: Runtime, master: HMaster, cfg: HbaseConfig, index: int) -> None:
+        super().__init__(env, "rs%d" % index)
+        self.rt = rt
+        self.master = master
+        self.cfg = cfg
+        self.open_queue: deque = deque()
+        self.hosted: set = set()
+        self.wal_buffer: List[int] = []
+        self.wal_torn = False
+        self.last_roll_end = 0.0
+        self.rolls = 0
+        master.regionservers.append(self)
+        env.every(self, cfg.deploy_tick_ms, self.deploy_tick, jitter_ms=50.0)
+        env.every(self, cfg.wal_roll_interval_ms, self.wal_roll)
+        env.every(self, cfg.report_interval_ms, self.report_tick, jitter_ms=40.0)
+
+    # ------------------------------------------------------------ rpc target
+
+    def open_region(self, region: str) -> str:
+        self.check_alive()
+        with self.rt.function("RegionServer.open_region"):
+            overloaded = len(self.open_queue) >= self.cfg.rs_overload_cap
+            self.rt.throw_point("rs.open.ioe", IOEx, natural=overloaded)
+            self.open_queue.append(region)
+            self.env.spin(0.5)
+            return "queued"
+
+    # -------------------------------------------------------------- periodic
+
+    def deploy_tick(self) -> None:
+        """The region deployment loop of the §8.3.1 case study."""
+        with self.rt.function("RegionServer.deploy_tick"):
+            batch, self.open_queue = list(self.open_queue), deque()
+            self.rt.branch("rs.deploy.b_overloaded", len(batch) > 20)
+            for region in self.rt.loop("rs.deploy.regions", batch):
+                self.env.spin(self.cfg.deploy_cost_ms)
+                self.hosted.add(region)
+                self.wal_buffer.append(1)  # region-open marker edit
+
+    def append(self, n: int) -> None:
+        """WAL appends from writes routed to this server."""
+        self.check_alive()
+        with self.rt.function("RegionServer.append"):
+            self.rt.throw_point("rs.wal.sync_fail", IOEx, natural=len(self.wal_buffer) > 5_000)
+            self.wal_buffer.extend([1] * n)
+            self.env.spin(0.05 * n)
+
+    def wal_roll(self) -> None:
+        """Roll the WAL: validate the previous segment's tail, then write
+        out the buffered entries."""
+        with self.rt.function("RegionServer.wal_roll"):
+            gap = self.env.now - self.last_roll_end
+            # NOTE: ``torn`` is the premature-EOF detector's own guard and
+            # must not be recorded as a monitor point (§6.2: injected and
+            # natural occurrences would look incompatible).
+            torn = self.wal_torn or (
+                self.last_roll_end > 0.0 and gap > self.cfg.wal_torn_gap_ms
+            )
+            self.wal_torn = False
+            hit_eof = self.rt.detector("rs.wal.premature_eof", torn)
+            if hit_eof:
+                # Repair: re-append the torn tail to the new segment.
+                self.wal_buffer.extend([1] * self.cfg.wal_repair_entries)
+            batch, self.wal_buffer = self.wal_buffer, []
+            self.rolls += 1
+            for _entry in self.rt.loop("rs.wal.roll", batch):
+                self.env.spin(self.cfg.wal_entry_cost_ms)
+            self.last_roll_end = self.env.now
+
+    def report_tick(self) -> None:
+        with self.rt.function("RegionServer.report_tick"):
+            try:
+                self.rt.rpc_call(
+                    "rs.report.rpc", IOEx, self.env.rpc, self.master,
+                    self._deliver_report, self.name, len(self.hosted),
+                )
+            except IOEx:
+                pass
+
+    def _deliver_report(self, name: str, hosted: int) -> None:
+        self.master.check_alive()
+        self.env.spin(0.1)
+
+
+class HBaseClient(Node):
+    """Admin + write client: creates/clones tables (region assignments) and
+    issues write batches (WAL appends)."""
+
+    def __init__(
+        self,
+        env: SimEnv,
+        rt: Runtime,
+        master: HMaster,
+        index: int,
+        creates_per_tick: int = 0,
+        regions_per_table: int = 4,
+        writes_per_tick: int = 0,
+        interval_ms: float = 4_000.0,
+    ) -> None:
+        super().__init__(env, "hclient%d" % index)
+        self.rt = rt
+        self.master = master
+        self.creates_per_tick = creates_per_tick
+        self.regions_per_table = regions_per_table
+        self.writes_per_tick = writes_per_tick
+        self._seq = 0
+        env.every(self, interval_ms, self.run_batch, jitter_ms=120.0)
+
+    def run_batch(self) -> None:
+        with self.rt.function("HBaseClient.run_batch"):
+            ops: List[tuple] = []
+            for _ in range(self.creates_per_tick):
+                self._seq += 1
+                ops.append(("create", "t%d/%s" % (self._seq, self.name)))
+            for _ in range(self.writes_per_tick):
+                ops.append(("write", ""))
+            for op, arg in self.rt.loop("cli.batch.ops", ops):
+                if op == "create":
+                    try:
+                        self.rt.lib_call(
+                            "cli.admin.rpc", IOEx, self.env.rpc, self.master,
+                            self._create_table, arg,
+                        )
+                    except IOEx:
+                        pass
+                else:
+                    servers = [rs for rs in self.master.regionservers if not rs.crashed]
+                    if servers:
+                        target = servers[self._seq % len(servers)]
+                        self._seq += 1
+                        try:
+                            self.env.rpc(target, target.append, 4)
+                        except IOEx:
+                            pass
+
+    def _create_table(self, table: str) -> None:
+        self.master.check_alive()
+        for i in range(self.regions_per_table):
+            self.master.request_assign("%s/r%d" % (table, i))
+        self.env.spin(0.3)

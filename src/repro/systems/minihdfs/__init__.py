@@ -1,0 +1,19 @@
+"""MiniHDFS: a simulated HDFS (NameNode + DataNodes + DFS clients).
+
+Two variants share this package, mirroring the paper's HDFS 2.10.2 and
+HDFS 3.4.1 targets:
+
+* ``version=2`` — synchronous report processing on the NameNode;
+* ``version=3`` — adds the asynchronous NameNode event queue (reports are
+  dispatched by a queue worker with separate error handlers), the block
+  deletion service, and erasure-coding-style block reconstruction, which is
+  why HDFS 3 exhibits more error handlers, cycles, and fault clusters
+  (§8.4.1).
+
+The seeded self-sustaining cascade bugs are documented in ``bugs.py``.
+"""
+
+from .build import build_system
+from .sites import build_registry
+
+__all__ = ["build_system", "build_registry"]

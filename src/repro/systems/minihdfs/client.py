@@ -1,0 +1,168 @@
+"""MiniHDFS DFS client: file writes through the pipeline, lease renewal."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...errors import IOEx, ReplicaAlreadyExists, RpcTimeout
+from ...instrument.runtime import Runtime
+from ...sim import Node, SimEnv
+from .datanode import DataNode
+from .hconfig import HdfsConfig
+from .namenode import NameNode
+
+
+class DFSClient(Node):
+    """A writer issuing periodic file creations.
+
+    ``write_interval_ms`` paces file creations; each file is one block
+    streamed through a DataNode pipeline and then completed at the NameNode.
+    """
+
+    def __init__(
+        self,
+        env: SimEnv,
+        rt: Runtime,
+        nn: NameNode,
+        cfg: HdfsConfig,
+        index: int,
+        write_interval_ms: float = 8_000.0,
+        files_per_tick: int = 1,
+        max_rebuilds: int = 2,
+        nn_rpc_timeout_ms: float = 10_000.0,
+    ) -> None:
+        super().__init__(env, "client%d" % index)
+        self.rt = rt
+        self.nn = nn
+        self.cfg = cfg
+        self.files_per_tick = files_per_tick
+        self.max_rebuilds = max_rebuilds
+        self.nn_rpc_timeout_ms = nn_rpc_timeout_ms
+        self._file_seq = 0
+        self.completed = 0
+        self.abandoned = 0
+        env.every(self, write_interval_ms, self.write_tick, jitter_ms=150.0)
+        if cfg.writers_renew_lease:
+            env.every(self, cfg.lease_soft_ms / 2.0, self.renew_leases)
+        self._open_files: List[str] = []
+
+    # ---------------------------------------------------------------- writes
+
+    def write_tick(self) -> None:
+        for _ in range(self.files_per_tick):
+            self._file_seq += 1
+            self.write_file("%s/f%d" % (self.name, self._file_seq))
+
+    def write_file(self, file_id: str) -> None:
+        """Allocate a block, stream it, and complete the file.
+
+        A ``ReplicaAlreadyExists`` conflict abandons the block and allocates
+        a fresh one (HDFS's ``abandonBlock`` + ``addBlock`` path); the
+        ``complete()`` call is retried with backoff because reports arrive
+        with heartbeats.
+        """
+        with self.rt.function("DFSClient.write_file"):
+            allocations = 0
+            while allocations < 2:
+                allocations += 1
+                try:
+                    bid, pipeline = self.env.rpc(
+                        self.nn, self.nn.add_block, file_id, self.name,
+                        timeout_ms=self.nn_rpc_timeout_ms * 3,
+                    )
+                except IOEx:
+                    return
+                if file_id not in self._open_files:
+                    self._open_files.append(file_id)
+                outcome = self.write_block(bid, list(pipeline))
+                if outcome == "conflict":
+                    continue  # abandon the block, allocate a new one
+                if outcome != "ok":
+                    self.abandoned += 1
+                    return  # abandon: the lease lingers until the soft limit
+                # Completion runs asynchronously (the real client's lease
+                # thread): reports arrive with heartbeats, so complete() is
+                # retried with backoff without blocking the write loop.
+                self._try_complete(file_id, bid, list(pipeline), attempt=0)
+                return
+            self.abandoned += 1
+
+    def _try_complete(self, file_id: str, bid: str, pipeline: List[DataNode], attempt: int) -> None:
+        def retry() -> None:
+            self._try_complete(file_id, bid, pipeline, attempt + 1)
+
+        try:
+            done = self.env.rpc(
+                self.nn, self.nn.complete_file, file_id, bid,
+                timeout_ms=self.nn_rpc_timeout_ms,
+            )
+        except RpcTimeout:
+            # NameNode too slow: re-stream the block once — the old tmp
+            # replica is still on the DataNodes (the Figure 6 pattern).
+            with self.rt.function("DFSClient.complete_retry"):
+                self.write_block(bid, pipeline)
+            done = False
+        except IOEx:
+            self.abandoned += 1
+            return
+        if done:
+            self.completed += 1
+            if file_id in self._open_files:
+                self._open_files.remove(file_id)
+        elif attempt < 5:
+            self.env.after(self, 2_000.0, retry)
+        else:
+            self.abandoned += 1
+
+    def write_block(self, bid: str, pipeline: List[DataNode]) -> str:
+        """Stream the block; on pipeline failure, rebuild without the bad
+        DataNode.  Returns ``"ok"``, ``"conflict"`` or ``"fail"``."""
+        with self.rt.function("DFSClient.write_block"):
+            attempts = 0
+            nodes = list(pipeline)
+            while self.rt.loop_guard("cli.write.retries", attempts <= self.max_rebuilds):
+                attempts += 1
+                if not nodes:
+                    break
+                head, rest = nodes[0], nodes[1:]
+                try:
+                    self.rt.lib_call(
+                        "cli.pipe.rpc", IOEx, self.env.rpc, head, head.receive_block,
+                        bid, rest, self.cfg.packets_per_block, False,
+                        timeout_ms=self.cfg.pipe_rpc_timeout_ms * 3,
+                    )
+                    return "ok"
+                except ReplicaAlreadyExists:
+                    self.rt.branch("cli.write.b_abandon", True)
+                    for dn in nodes:  # abandonBlock: invalidate the attempt
+                        try:
+                            self.env.rpc(dn, dn.abort_block, bid)
+                        except IOEx:
+                            pass
+                    return "conflict"
+                except IOEx:
+                    self.rt.branch("cli.write.b_abandon", False)
+                    # The attempt's replicas are unusable: tell the DNs.
+                    for dn in nodes:
+                        try:
+                            self.env.rpc(dn, dn.abort_block, bid)
+                        except IOEx:
+                            pass
+                    if self.cfg.client_report_bad_dn:
+                        try:
+                            self.env.rpc(self.nn, self.nn.report_bad_datanode, nodes[0].name)
+                        except IOEx:
+                            pass
+                    if not self.cfg.client_rebuild_pipeline:
+                        break
+                    nodes = nodes[1:]  # exclude the failed head and rebuild
+            return "fail"
+
+    # ---------------------------------------------------------------- leases
+
+    def renew_leases(self) -> None:
+        for file_id in list(self._open_files):
+            try:
+                self.env.rpc(self.nn, self.nn.renew_lease, file_id, self.name)
+            except IOEx:
+                pass

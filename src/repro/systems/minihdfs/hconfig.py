@@ -1,0 +1,81 @@
+"""Per-workload configuration of a MiniHDFS cluster.
+
+Each integration test instantiates the cluster with different knobs —
+exactly the config-gated conditions (IBR throttling, HA, staleness
+handling, recovery, cache sizing) whose *combinations* never co-occur in a
+single test, which is why the seeded cascades require causal stitching
+across tests to detect (§8.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class HdfsConfig:
+    version: int = 2
+    n_datanodes: int = 4
+    replication: int = 2
+
+    # RPC / heartbeat / staleness (reduced timeouts per §4.2).
+    rpc_timeout_ms: float = 10_000.0
+    hb_rpc_timeout_ms: float = 30_000.0
+    heartbeat_interval_ms: float = 3_000.0
+    stale_timeout_ms: float = 15_000.0
+    #: Staleness handling: re-replicate a stale DataNode's blocks.
+    rereplication: bool = True
+    rereplication_cap: int = 24
+
+    # Incremental block reports.
+    ibr_throttling: bool = False  # send at ibr_interval instead of every HB
+    ibr_interval_ms: float = 20_000.0
+    ibr_rpc_timeout_ms: float = 10_000.0
+    nn_ibr_entry_cost_ms: float = 0.2
+    nn_ibr_backlog_cap: int = 100_000  # small values trigger nn.ibr.overflow
+    ibr_backlog_drain: int = 100_000  # backlog drained per edit-flush tick
+
+    # Full block reports.
+    fbr_interval_ms: float = 90_000.0
+    fbr_rpc_timeout_ms: float = 60_000.0
+
+    # Write pipeline.
+    packets_per_block: int = 8
+    pipe_rpc_timeout_ms: float = 10_000.0
+    client_rebuild_pipeline: bool = True
+    client_restream_on_ibr_loss: bool = False  # re-stream block if unreported
+    client_report_bad_dn: bool = False  # report failed pipeline DNs to the NN
+
+    # Block recovery.
+    recovery_enabled: bool = True
+    recovery_max_attempts: int = 4
+    recovery_reissue_ms: float = 8_000.0  # monitor re-issues stalled recoveries
+    recovery_session_lease_ms: float = 8_000.0  # coordinator lease per session
+    genstamp_conflicts: bool = False  # rebuilds leave mismatched genstamps
+
+    # Leases.
+    lease_soft_ms: float = 20_000.0
+    writers_renew_lease: bool = True  # False: writers abandon files
+
+    # Edit log / HA.
+    ha: bool = False
+    edit_flush_interval_ms: float = 2_000.0
+    edit_backlog_cap: int = 200  # exceeded backlog triggers failover
+    edit_lag_cap_ms: float = 1e12  # journal lag that triggers failover (HA)
+    edit_cost_ms: float = 0.3
+
+    # Replica metadata cache.
+    cache_capacity: int = 10_000
+    cache_seed_entries: int = 0
+    cache_tick_ms: float = 4_000.0
+    cache_entry_cost_ms: float = 0.1
+    #: DirectoryScanner analogue: every interval, re-insert a quarter of the
+    #: finalized replicas into the metadata cache (0 disables).
+    scanner_interval_ms: float = 0.0
+
+    # HDFS 3: async event queue, deletion service, reconstruction.
+    eventq_cap: int = 10_000
+    deletion_tick_ms: float = 4_000.0
+    reconstruction: bool = False
+    recon_tick_ms: float = 5_000.0
+    recon_fetch_timeout_ms: float = 10_000.0

@@ -1,0 +1,6 @@
+"""MiniOzone: SCM + DataNodes with container reports, pipelines, replication."""
+
+from .build import build_system
+from .sites import build_registry
+
+__all__ = ["build_system", "build_registry"]

@@ -1,0 +1,347 @@
+"""MiniOzone nodes: SCM + DataNodes + an object-store client.
+
+OZ-1: a slow container-report dispatcher saturates the SCM event queue;
+with re-queueing configured, failed dispatches go back onto the very queue
+the dispatcher cannot drain.
+
+OZ-2: slow heartbeat processing makes DataNodes look dead; pipelines over
+"dead" nodes are closed and recreated, but creation fails with too few
+healthy nodes, and the retries add heartbeat-handling work (self-contained
+in one test — the naive single-fault strategy can trigger it, matching
+Table 3's Alt ✓ for this row).
+
+OZ-3: a slow replication handler times out container pushes; the failure
+closes the pipeline, pipeline creation fails on the small cluster, and the
+fallback re-replication issues yet more replication commands.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+from ...errors import IOEx
+from ...instrument.runtime import Runtime
+from ...sim import Node, SimEnv
+
+
+class OzoneConfig:
+    def __init__(self, **kw: object) -> None:
+        self.n_datanodes = 4
+        self.hb_interval_ms = 3_000.0
+        self.hb_rpc_timeout_ms = 30_000.0
+        self.dead_timeout_ms = 15_000.0
+        self.dispatch_tick_ms = 1_500.0
+        self.event_cost_ms = 0.4
+        self.eventq_saturation = 60  # queue length that fails dispatch
+        self.eventq_requeue = False  # re-queue failed dispatches
+        self.requeue_resync = 15  # resync events re-queued per failure
+        self.pipeline_tick_ms = 4_000.0
+        self.pipeline_size = 3
+        self.repl_tick_ms = 3_000.0
+        self.repl_push_timeout_ms = 10_000.0
+        self.repl_cost_ms = 2.0
+        self.fallback_replication = False  # re-replicate when pipelines fail
+        self.fallback_batch = 20
+        self.repl_trickle = 0  # synthetic under-replicated containers per tick
+        self.pipeline_rotation_ms = 0.0  # rotate (close+recreate) pipelines
+        self.rereport_batch = 25  # container re-reports after pipeline create
+        self.report_batch = 12  # containers reported per heartbeat
+        for key, value in kw.items():
+            if not hasattr(self, key):
+                raise TypeError("unknown OzoneConfig option %r" % key)
+            setattr(self, key, value)
+
+
+class SCM(Node):
+    """Storage Container Manager."""
+
+    def __init__(self, env: SimEnv, rt: Runtime, cfg: OzoneConfig) -> None:
+        super().__init__(env, "scm")
+        self.rt = rt
+        self.cfg = cfg
+        self.datanodes: List["OzoneDN"] = []
+        self.last_heartbeat: Dict[str, float] = {}
+        self.event_queue: deque = deque()
+        self.pipelines: List[List[str]] = []
+        self.commands: Dict[str, List[tuple]] = {}
+        self.under_replicated: deque = deque()
+        self.dispatched = 0
+        self.pipeline_failures = 0
+        self._last_rotation = 0.0
+        self._trickle_seq = 0
+        self.suspects: Dict[str, float] = {}
+        # The SCM is multi-threaded: the report dispatcher and the monitors
+        # run on their own executors, so a backlogged heartbeat handler
+        # does not starve them (each thread is its own busy-until node).
+        self.dispatch_thread = Node(env, "scm#dispatch")
+        self.monitor_thread = Node(env, "scm#monitor")
+        env.every(self.dispatch_thread, cfg.dispatch_tick_ms, self.dispatch_tick)
+        env.every(self.monitor_thread, cfg.pipeline_tick_ms, self.pipeline_tick)
+        env.every(self.monitor_thread, cfg.repl_tick_ms, self.replication_tick)
+
+    # ------------------------------------------------------------ rpc: dn
+
+    def process_heartbeat(
+        self, dn_name: str, reports: List[tuple], sent_at: float
+    ) -> List[tuple]:
+        self.check_alive()
+        with self.rt.function("SCM.process_heartbeat"):
+            # The liveness map only reflects this heartbeat once its
+            # processing *completes* — a backlogged handler thread updates
+            # it late, which is exactly what the monitors then see.
+            def mark_seen() -> None:
+                self.last_heartbeat[dn_name] = max(
+                    self.last_heartbeat.get(dn_name, 0.0), sent_at
+                )
+
+            self.env.schedule_at(self.env.now + 0.1, self.monitor_thread, mark_seen)
+            for report in self.rt.loop("scm.hb.updates", reports):
+                self.env.spin(0.3)
+                self.enqueue_report(report)
+            queued = self.commands.get(dn_name, [])
+            batch, self.commands[dn_name] = queued[:6], queued[6:]
+            return batch
+
+    def enqueue_report(self, report: tuple) -> None:
+        self.rt.throw_point(
+            "scm.eventq.overflow", IOEx, natural=len(self.event_queue) > 100_000
+        )
+        self.event_queue.append(report)
+
+    def report_replication_failure(self, container: str) -> None:
+        """A container push failed: close its pipeline, mark the pushing
+        node suspect, and let the pipeline monitor re-create (so every
+        creation goes through the same code path)."""
+        self.check_alive()
+        self.pipeline_failures += 1
+        if self.pipelines:
+            members = self.pipelines.pop(0)
+            if members:
+                self.suspects[members[0]] = self.env.now + 20_000.0
+
+    # -------------------------------------------------------------- periodic
+
+    def dispatch_tick(self) -> None:
+        """Drain the container-report event queue (OZ-1's delayed task)."""
+        with self.rt.function("SCM.dispatch_tick"):
+            batch = []
+            while self.event_queue and len(batch) < 20:
+                batch.append(self.event_queue.popleft())
+            for report in self.rt.loop("scm.eventq.dispatch", batch):
+                self.env.spin(self.cfg.event_cost_ms)
+                ok = self.rt.detector(
+                    "scm.eventq.dispatch_ok",
+                    len(self.event_queue) <= self.cfg.eventq_saturation,
+                )
+                if not ok:
+                    requeue = self.rt.branch(
+                        "scm.eventq.b_requeue", self.cfg.eventq_requeue
+                    )
+                    if requeue:
+                        # THE BUG (OZ-1): the failed event goes back onto
+                        # the queue, plus a resync batch to be safe.
+                        self.event_queue.append(report)
+                        for i in range(self.cfg.requeue_resync):
+                            self.event_queue.append(("resync", "%s#%d" % (report[1], i)))
+                    continue
+                self.dispatched += 1
+
+    def _healthy(self) -> List[str]:
+        return [
+            dn.name
+            for dn in self.datanodes
+            if not dn.crashed
+            and self.env.now - self.last_heartbeat.get(dn.name, 0.0)
+            <= self.cfg.dead_timeout_ms
+            and self.env.now >= self.suspects.get(dn.name, 0.0)
+        ]
+
+    def create_pipeline(self, exclude: int = 0) -> None:
+        """Open a new Ratis pipeline over healthy DataNodes."""
+        healthy = self._healthy()[exclude:]
+        self.rt.throw_point(
+            "scm.pipeline.create_ioe", IOEx, natural=len(healthy) < self.cfg.pipeline_size
+        )
+        members = healthy[: self.cfg.pipeline_size]
+        self.pipelines.append(members)
+        for name in members:
+            # Ratis members re-report their containers on pipeline changes.
+            self.commands.setdefault(name, []).append(("rereport",))
+        self.env.spin(1.0)
+
+    def pipeline_tick(self) -> None:
+        with self.rt.function("SCM.pipeline_tick"):
+            healthy = set(self._healthy())
+            for dn in self.datanodes:
+                self.rt.detector("scm.dn.is_dead", dn.name not in healthy)
+            keep: List[List[str]] = []
+            for pipe in self.rt.loop("scm.pipeline.scan", list(self.pipelines)):
+                self.env.spin(0.5)
+                is_healthy = self.rt.detector(
+                    "scm.pipeline.is_healthy", all(n in healthy for n in pipe)
+                )
+                if is_healthy:
+                    keep.append(pipe)
+            self.pipelines = keep
+            if (
+                self.cfg.pipeline_rotation_ms > 0
+                and self.env.now - self._last_rotation > self.cfg.pipeline_rotation_ms
+                and self.pipelines
+            ):
+                self._last_rotation = self.env.now
+                self.pipelines.pop(0)  # retire the oldest pipeline
+            self.rt.branch("scm.pipeline.b_open", len(self.pipelines) >= 2)
+            while len(self.pipelines) < 2:
+                try:
+                    self.create_pipeline()
+                except IOEx:
+                    if self.cfg.fallback_replication:
+                        # Cannot open a pipeline: spread the data through
+                        # existing ones instead, and resync members.
+                        for i in range(self.cfg.fallback_batch):
+                            self.under_replicated.append("pipe-fb%d" % i)
+                        for dn in self.datanodes:
+                            self.commands.setdefault(dn.name, []).append(("rereport",))
+                    break
+
+    def replication_tick(self) -> None:
+        with self.rt.function("SCM.replication_tick"):
+            for _ in range(self.cfg.repl_trickle):
+                self._trickle_seq += 1
+                self.under_replicated.append("maint-c%d" % self._trickle_seq)
+            work, self.under_replicated = list(self.under_replicated), deque()
+            for i, container in enumerate(self.rt.loop("scm.repl.scan", work)):
+                self.env.spin(0.3)
+                self.rt.branch("scm.repl.b_urgent", len(work) > 20)
+                live = [dn for dn in self.datanodes if not dn.crashed]
+                if len(live) >= 2:
+                    # Container placement pivots on the first node (it holds
+                    # the most replicas), alternating push direction.
+                    other = live[1 + i % (len(live) - 1)]
+                    src, dst = (live[0], other) if i % 2 == 0 else (other, live[0])
+                    self.commands.setdefault(src.name, []).append(
+                        ("replicate", container, dst.name)
+                    )
+
+
+class OzoneDN(Node):
+    def __init__(self, env: SimEnv, rt: Runtime, scm: SCM, cfg: OzoneConfig, index: int) -> None:
+        super().__init__(env, "ozdn%d" % index)
+        self.rt = rt
+        self.scm = scm
+        self.cfg = cfg
+        self.containers: Dict[str, int] = {}
+        self.repl_queue: deque = deque()
+        self._rereport = 0
+        scm.datanodes.append(self)
+        scm.commands[self.name] = []
+        scm.last_heartbeat[self.name] = 0.0
+        env.every(self, cfg.hb_interval_ms, self.heartbeat_tick, jitter_ms=60.0)
+        env.every(self, cfg.repl_tick_ms, self.replication_tick, jitter_ms=50.0)
+
+    # -------------------------------------------------------------- periodic
+
+    def heartbeat_tick(self) -> None:
+        with self.rt.function("OzoneDN.heartbeat_tick"):
+            extra = min(self._rereport, len(self.containers))
+            self._rereport -= extra
+            todo = sorted(self.containers)[-(self.cfg.report_batch + extra):]
+            reports = []
+            for cid in self.rt.loop("dn.report.build", todo):
+                self.env.spin(0.05)
+                reports.append(("container", cid))
+            try:
+                commands = self.rt.rpc_call(
+                    "dn.hb.rpc", IOEx, self.env.rpc, self.scm,
+                    self.scm.process_heartbeat, self.name, reports, self.env.now,
+                    timeout_ms=self.cfg.hb_rpc_timeout_ms,
+                )
+            except IOEx:
+                return
+            for cmd in self.rt.loop("dn.hb.cmds", commands):
+                self.env.spin(0.3)
+                if cmd[0] == "replicate":
+                    self.repl_queue.append((cmd[1], cmd[2]))
+                elif cmd[0] == "rereport":
+                    self._rereport = self.cfg.rereport_batch
+
+    def replication_tick(self) -> None:
+        """Handle queued replication commands (OZ-3's delayed task)."""
+        with self.rt.function("OzoneDN.replication_tick"):
+            batch = []
+            while self.repl_queue:
+                batch.append(self.repl_queue.popleft())
+            for container, dst_name in self.rt.loop("dn.repl.handle", batch):
+                self.env.spin(self.cfg.repl_cost_ms)
+                dst = next((d for d in self.scm.datanodes if d.name == dst_name), None)
+                if dst is None:
+                    continue
+                try:
+                    self.rt.lib_call(
+                        "dn.repl.push", IOEx, self.env.rpc, dst, dst.receive_container,
+                        container, timeout_ms=self.cfg.repl_push_timeout_ms,
+                    )
+                except IOEx:
+                    retry = self.rt.branch("dn.repl.b_retry", True)
+                    if retry:
+                        self.env.send(
+                            self.scm, self.scm.report_replication_failure, container
+                        )
+
+    # ------------------------------------------------------------ rpc target
+
+    def receive_container(self, container: str) -> None:
+        self.check_alive()
+        self.containers[container] = self.containers.get(container, 0) + 1
+        self.env.spin(1.5)
+
+    def write_chunk(self, container: str, n: int) -> None:
+        self.check_alive()
+        with self.rt.function("OzoneDN.write_chunk"):
+            full = len(self.containers) > 50_000
+            self.rt.throw_point("dn.container.ioe", IOEx, natural=full)
+            self.containers[container] = self.containers.get(container, 0) + n
+            self.env.spin(0.2 * n)
+
+
+class OzoneClient(Node):
+    def __init__(
+        self,
+        env: SimEnv,
+        rt: Runtime,
+        scm: SCM,
+        index: int,
+        keys_per_tick: int = 4,
+        interval_ms: float = 3_000.0,
+    ) -> None:
+        super().__init__(env, "ozclient%d" % index)
+        self.rt = rt
+        self.scm = scm
+        self.keys_per_tick = keys_per_tick
+        self._seq = 0
+        env.every(self, interval_ms, self.write_tick, jitter_ms=100.0)
+
+    def write_tick(self) -> None:
+        with self.rt.function("OzoneClient.write_tick"):
+            for _ in self.rt.loop("cli.keys.write", range(self.keys_per_tick)):
+                self._seq += 1
+                pipes = self.scm.pipelines
+                if not pipes:
+                    continue
+                pipe = pipes[self._seq % len(pipes)]
+                if not pipe:
+                    continue
+                target = next(
+                    (d for d in self.scm.datanodes if d.name == pipe[0]), None
+                )
+                if target is None:
+                    continue
+                container = "c%d" % (self._seq % 40)
+                try:
+                    self.rt.lib_call(
+                        "cli.scm.rpc", IOEx, self.env.rpc, target,
+                        target.write_chunk, container, 2,
+                    )
+                except IOEx:
+                    pass

@@ -1,0 +1,6 @@
+"""Per-system integration-test workload suites.
+
+Each module defines the workloads of one target system; the condition
+combinations (configs, cluster sizes, traffic mixes) are deliberately
+split across tests so that the seeded cascades require causal stitching.
+"""

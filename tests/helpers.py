@@ -1,0 +1,76 @@
+"""Shared factories for synthetic traces, edges, and states in tests."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.instrument.plan import InjectionPlan
+from repro.instrument.trace import FaultEvent, RunGroup, RunTrace
+from repro.types import CausalEdge, EdgeType, FaultKey, InjKind, LocalState
+
+
+def state(stack: Tuple[str, str] = ("f1", "f0"), branches: Tuple = ()) -> LocalState:
+    return LocalState(call_stack=stack, branch_trace=branches)
+
+
+def exc(name: str) -> FaultKey:
+    return FaultKey(name, InjKind.EXCEPTION)
+
+
+def neg(name: str) -> FaultKey:
+    return FaultKey(name, InjKind.NEGATION)
+
+
+def dly(name: str) -> FaultKey:
+    return FaultKey(name, InjKind.DELAY)
+
+
+def edge(
+    src: FaultKey,
+    dst: FaultKey,
+    etype: EdgeType = EdgeType.E_I,
+    test_id: str = "t1",
+    src_states: Iterable[LocalState] = (),
+    dst_states: Iterable[LocalState] = (),
+) -> CausalEdge:
+    return CausalEdge(
+        src=src,
+        dst=dst,
+        etype=etype,
+        test_id=test_id,
+        src_states=frozenset(src_states),
+        dst_states=frozenset(dst_states),
+    )
+
+
+def run_trace(
+    test_id: str = "t1",
+    injection: Optional[InjectionPlan] = None,
+    events: Iterable[FaultEvent] = (),
+    loop_counts: Optional[dict] = None,
+    loop_states: Optional[dict] = None,
+) -> RunTrace:
+    trace = RunTrace(test_id=test_id, injection=injection)
+    for ev in events:
+        trace.record_event(ev)
+    for site, count in (loop_counts or {}).items():
+        trace.loop_counts[site] = count
+        trace.reached.add(site)
+    for site, states in (loop_states or {}).items():
+        trace.loop_states[site] = set(states)
+    return trace
+
+
+def group(
+    test_id: str,
+    injection: Optional[InjectionPlan],
+    runs: Iterable[RunTrace],
+) -> RunGroup:
+    g = RunGroup(test_id=test_id, injection=injection)
+    for run in runs:
+        g.add(run)
+    return g
+
+
+def event(fault: FaultKey, at: float = 1.0, st: Optional[LocalState] = None, injected: bool = False) -> FaultEvent:
+    return FaultEvent(fault, at, st if st is not None else state(), injected=injected)

@@ -1,0 +1,64 @@
+"""Integration tests for the three comparison baselines."""
+
+import pytest
+
+from repro.baselines import BlackboxFuzzer, NaiveSelfCausation, RandomAllocator
+from repro.config import CSnakeConfig
+from repro.core.driver import ExperimentDriver
+from repro.instrument.analyzer import analyze
+from repro.systems import get_system
+
+FAST = dict(repeats=2, delay_values_ms=(2000.0,), seed=11)
+
+
+class TestRandomAllocator:
+    def test_uses_same_budget_and_runs_experiments(self):
+        spec = get_system("toy")
+        cfg = CSnakeConfig(**FAST)
+        driver = ExperimentDriver(spec, cfg)
+        faults = analyze(spec.registry).faults
+        outcome = RandomAllocator(driver, faults, cfg).run()
+        assert outcome.budget_total == cfg.budget_per_fault * len(faults)
+        assert outcome.budget_used == outcome.budget_total
+        # With replacement: unique experiments <= budget.
+        assert len(outcome.records) <= outcome.budget_used
+        assert driver.experiments_run == len(outcome.records)
+
+    def test_deterministic_given_seed(self):
+        spec = get_system("toy")
+        cfg = CSnakeConfig(**FAST)
+
+        def run_once():
+            driver = ExperimentDriver(spec, cfg)
+            faults = analyze(spec.registry).faults
+            outcome = RandomAllocator(driver, faults, cfg).run()
+            return [(r.fault, r.test_id) for r in outcome.records]
+
+        assert run_once() == run_once()
+
+
+class TestNaiveSelfCausation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        cfg = CSnakeConfig(repeats=3, delay_values_ms=(500.0, 8000.0), seed=7)
+        return NaiveSelfCausation(get_system("toy"), cfg).run()
+
+    def test_misses_stitching_dependent_bugs(self, result):
+        # Both toy cascades need either multiple injections or conditions
+        # split across tests; single-fault self-causation finds neither.
+        assert result.detected_bugs["TOY-1"] is False
+        assert result.detected_bugs["TOY-2"] is False
+
+    def test_records_self_causing_pairs(self, result):
+        assert all(fault is not None and test for fault, test in result.self_causing)
+        assert result.experiments > 0
+
+
+class TestBlackboxFuzzer:
+    def test_finds_none_of_the_seeded_cascades(self):
+        cfg = CSnakeConfig(repeats=2, delay_values_ms=(2000.0,), seed=3)
+        fuzzer = BlackboxFuzzer(get_system("toy"), cfg, runs_per_workload=2)
+        result = fuzzer.run()
+        assert result.runs == 2 * len(get_system("toy").workloads)
+        assert result.crashes_injected + result.partitions_injected > 0
+        assert not any(result.detected_bugs.values())

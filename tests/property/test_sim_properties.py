@@ -1,0 +1,101 @@
+"""Property-based tests on the virtual-time simulation substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimConfig
+from repro.sim import Node, SimEnv
+
+
+def make_env(seed=0):
+    return SimEnv(SimConfig(network_latency_ms=1.0, network_jitter_ms=0.0), seed=seed)
+
+
+@given(st.lists(st.floats(0.1, 1000.0), min_size=1, max_size=20))
+@settings(max_examples=50)
+def test_events_execute_in_nondecreasing_time(delays):
+    env = make_env()
+    node = Node(env, "n")
+    times = []
+    for d in delays:
+        env.schedule_at(d, node, lambda: times.append(env.now))
+    env.run(10_000.0)
+    assert times == sorted(times)
+    assert len(times) == len(delays)
+
+
+@given(
+    st.lists(st.tuples(st.floats(0.1, 100.0), st.floats(0.0, 50.0)), min_size=1, max_size=12)
+)
+@settings(max_examples=50)
+def test_busy_node_serialises_spins(jobs):
+    """Total busy time equals the sum of spins; handlers never overlap."""
+    env = make_env()
+    node = Node(env, "n")
+    spans = []
+
+    def work(cost):
+        start = env.now
+        env.spin(cost)
+        spans.append((start, env.now))
+
+    for at, cost in jobs:
+        env.schedule_at(at, node, work, cost)
+    env.run(1e9)
+    spans.sort()
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2 + 1e-6  # no overlap on a single-threaded node
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=20)
+def test_same_seed_same_execution(seed):
+    def run():
+        env = make_env(seed)
+        node = Node(env, "n")
+        out = []
+        env.every(node, 10.0, lambda: out.append(env.rng.random()), jitter_ms=5.0)
+        env.run(200.0)
+        return out
+
+    assert run() == run()
+
+
+@given(st.floats(1.0, 50.0), st.floats(0.1, 200.0))
+@settings(max_examples=50)
+def test_rpc_round_trip_time_accounting(latency, service):
+    from repro.errors import RpcTimeout
+
+    env = SimEnv(SimConfig(network_latency_ms=latency, network_jitter_ms=0.0), seed=1)
+    a, b = Node(env, "a"), Node(env, "b")
+    out = {}
+
+    def callee():
+        env.spin(service)
+        return "ok"
+
+    def caller():
+        t0 = env.now
+        try:
+            env.rpc(b, callee, timeout_ms=10_000.0)
+            out["elapsed"] = env.now - t0
+        except RpcTimeout:
+            out["elapsed"] = None
+
+    env.schedule_at(1.0, a, caller)
+    env.run(1e6)
+    if out["elapsed"] is not None:
+        expected = 2 * latency + service
+        assert abs(out["elapsed"] - expected) < 1e-6
+
+
+@given(st.floats(0.1, 100.0))
+@settings(max_examples=30)
+def test_crashed_node_never_executes(delay):
+    env = make_env()
+    node = Node(env, "n")
+    node.crash()
+    fired = []
+    env.schedule_at(delay, node, lambda: fired.append(1))
+    env.run(10_000.0)
+    assert fired == []

@@ -1,0 +1,97 @@
+"""Unit tests for the three-phase allocation protocol, on the toy system."""
+
+import pytest
+
+from repro.config import CSnakeConfig
+from repro.core.allocation import ThreePhaseAllocator
+from repro.core.driver import ExperimentDriver
+from repro.instrument.analyzer import analyze
+from repro.systems.toy import build_system
+
+FAST = dict(repeats=2, delay_values_ms=(2000.0,), seed=11)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    spec = build_system()
+    config = CSnakeConfig(**FAST)
+    driver = ExperimentDriver(spec, config)
+    faults = analyze(spec.registry).faults
+    allocator = ThreePhaseAllocator(driver, faults, config)
+    out = allocator.run()
+    out._driver = driver  # stash for assertions
+    out._faults = faults
+    return out
+
+
+def test_phase_budget_split():
+    cfg = CSnakeConfig()
+    p1, p2, p3 = cfg.phase_budgets(10)
+    assert (p1, p2, p3) == (10, 20, 10)
+    assert sum(cfg.phase_budgets(7)) == 28
+
+
+def test_phase_one_covers_each_reachable_fault_once(outcome):
+    phase1 = outcome.records_in_phase(1)
+    faults = [r.fault for r in phase1]
+    assert len(faults) == len(set(faults))  # each fault at most once
+    assert set(faults) | set(outcome.unreachable) == set(outcome._faults)
+
+
+def test_phase_one_uses_highest_coverage_test(outcome):
+    driver = outcome._driver
+    for record in outcome.records_in_phase(1):
+        cov = driver.coverage_of(record.test_id)
+        for t in driver.tests_reaching(record.fault):
+            assert cov >= driver.coverage_of(t)
+
+
+def test_budget_not_exceeded(outcome):
+    assert outcome.budget_used <= outcome.budget_total
+
+
+def test_no_fault_test_pair_repeated(outcome):
+    pairs = [(r.fault, r.test_id) for r in outcome.records]
+    assert len(pairs) == len(set(pairs))
+
+
+def test_clustering_covers_observed_faults(outcome):
+    observed = {r.fault for r in outcome.records_in_phase(1)}
+    assert set(outcome.clustering.by_fault) == observed
+
+
+def test_phases_two_and_three_ran(outcome):
+    assert outcome.records_in_phase(2)
+    assert outcome.records_in_phase(3)
+
+
+def test_sim_scores_in_unit_interval(outcome):
+    for score in outcome.cluster_scores.values():
+        assert 0.0 <= score <= 1.0 + 1e-9
+    for score in outcome.fault_scores.values():
+        assert 0.0 <= score <= 1.0 + 1e-9
+
+
+def test_fault_scores_defined_for_clustered_faults(outcome):
+    assert set(outcome.fault_scores) == set(outcome.clustering.by_fault)
+
+
+def test_records_have_fca_results(outcome):
+    for record in outcome.records:
+        assert record.result.fault == record.fault
+        assert record.result.test_id == record.test_id
+
+
+def test_deterministic_given_seed():
+    spec = build_system()
+    config = CSnakeConfig(**FAST)
+
+    def run_once():
+        driver = ExperimentDriver(spec, config)
+        faults = analyze(spec.registry).faults
+        return ThreePhaseAllocator(driver, faults, config).run()
+
+    a, b = run_once(), run_once()
+    assert [(r.phase, r.fault, r.test_id) for r in a.records] == [
+        (r.phase, r.fault, r.test_id) for r in b.records
+    ]

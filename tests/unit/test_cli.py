@@ -1,0 +1,41 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_fault, main
+from repro.types import FaultKey, InjKind
+
+
+def test_parse_fault():
+    assert _parse_fault("a.b:delay") == FaultKey("a.b", InjKind.DELAY)
+    assert _parse_fault("x:exception") == FaultKey("x", InjKind.EXCEPTION)
+
+
+def test_parse_fault_rejects_garbage():
+    with pytest.raises(SystemExit):
+        _parse_fault("nonsense")
+    with pytest.raises(SystemExit):
+        _parse_fault("site:banana")
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "toy" in out and "minihdfs2" in out
+
+
+def test_inject_command(capsys):
+    rc = main([
+        "inject", "toy", "toy.server.is_stale:negation", "toy.balancer",
+        "--repeats", "2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "inject" in out
+
+
+def test_run_command_on_toy(capsys):
+    rc = main(["run", "toy", "--repeats", "2", "--seed", "7", "--budget", "2"])
+    out = capsys.readouterr().out
+    assert "system: toy" in out
+    assert rc in (0, 1)

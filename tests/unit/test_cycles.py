@@ -1,0 +1,101 @@
+"""Unit tests for cycle representation and cycle clustering."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import cluster_faults
+from repro.core.cycles import Cycle, cluster_cycles
+from repro.types import EdgeType
+
+from tests.helpers import dly, edge, exc, neg
+
+
+def cyc(*edges):
+    return Cycle(tuple(edges))
+
+
+def two_cycle(a, b, t1="t1", t2="t2"):
+    return cyc(edge(a, b, test_id=t1), edge(b, a, test_id=t2))
+
+
+def test_signature_counts_injected_kinds():
+    c = cyc(
+        edge(dly("L"), exc("x"), etype=EdgeType.E_D),
+        edge(exc("x"), neg("n"), etype=EdgeType.E_I),
+        edge(neg("n"), dly("L"), etype=EdgeType.SP_I),
+    )
+    assert c.signature() == "1D|1E|1N"
+
+
+def test_derived_edges_excluded_from_signature():
+    c = cyc(
+        edge(dly("L2"), dly("L1"), etype=EdgeType.ICFG),
+        edge(dly("L1"), dly("L2"), etype=EdgeType.SP_D),
+    )
+    assert c.signature() == "1D|0E|0N"
+    assert c.injected_faults() == [dly("L1")]
+
+
+def test_canonical_rotation_invariant():
+    e1 = edge(exc("a"), exc("b"), test_id="t1")
+    e2 = edge(exc("b"), exc("a"), test_id="t2")
+    assert cyc(e1, e2).key() == cyc(e2, e1).key()
+
+
+def test_different_cycles_different_keys():
+    assert two_cycle(exc("a"), exc("b")).key() != two_cycle(exc("a"), exc("c")).key()
+
+
+def test_empty_cycle_rejected():
+    with pytest.raises(ValueError):
+        Cycle(())
+
+
+def test_fault_set_and_tests():
+    c = two_cycle(exc("a"), exc("b"))
+    assert c.fault_set() == frozenset({exc("a"), exc("b")})
+    assert c.tests() == ["t1", "t2"]
+
+
+def test_delay_injections_counted():
+    c = cyc(
+        edge(dly("L"), exc("x"), etype=EdgeType.E_D),
+        edge(exc("x"), dly("L"), etype=EdgeType.SP_I),
+    )
+    assert c.delay_injections() == 1
+
+
+class TestCycleClustering:
+    def test_cycles_with_equivalent_faults_cluster(self):
+        # f_a and f_c are causally equivalent (same cluster).
+        faults = [exc("a"), exc("b"), exc("c")]
+        v = np.array([1.0, 0.0])
+        w = np.array([0.0, 1.0])
+        clustering = cluster_faults(faults, [v, w, v], distance_threshold=0.5)
+        c1 = two_cycle(exc("a"), exc("b"))
+        c2 = two_cycle(exc("c"), exc("b"), t1="t3", t2="t4")
+        clusters = cluster_cycles([c1, c2], clustering)
+        assert len(clusters) == 1
+        assert len(clusters[0]) == 2
+
+    def test_unclustered_faults_are_singletons(self):
+        c1 = two_cycle(exc("a"), exc("b"))
+        c2 = two_cycle(exc("x"), exc("y"))
+        clusters = cluster_cycles([c1, c2], None)
+        assert len(clusters) == 2
+
+    def test_representative_is_shortest(self):
+        faults = [exc("a"), exc("b")]
+        v = np.array([1.0, 0.0])
+        clustering = cluster_faults(faults, [v, v], distance_threshold=0.5)
+        short = cyc(edge(exc("a"), exc("a")))
+        long = two_cycle(exc("a"), exc("b"))
+        # Both involve only cluster G0 faults -> same signature? The short
+        # one has one injected fault, the long two, so signatures differ.
+        clusters = cluster_cycles([short, long], clustering)
+        for cluster in clusters:
+            assert cluster.representative in cluster.cycles
+
+    def test_str_contains_signature(self):
+        c = two_cycle(exc("a"), exc("b"))
+        assert "2E" in str(c)

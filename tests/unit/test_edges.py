@@ -1,0 +1,73 @@
+"""Unit tests for the causal edge database."""
+
+from repro.core.edges import EdgeDB
+from repro.types import EdgeType
+
+from tests.helpers import edge, exc, neg, state
+
+
+def test_add_and_lookup_by_src():
+    db = EdgeDB()
+    e1 = edge(exc("a"), exc("b"))
+    e2 = edge(exc("a"), neg("c"))
+    e3 = edge(neg("c"), exc("a"))
+    assert db.add(e1) and db.add(e2) and db.add(e3)
+    assert set(db.edges_from(exc("a"))) == {e1, e2}
+    assert db.edges_from(neg("c")) == [e3]
+    assert len(db) == 3
+
+
+def test_duplicate_edge_not_added():
+    db = EdgeDB()
+    e = edge(exc("a"), exc("b"))
+    assert db.add(e)
+    assert not db.add(edge(exc("a"), exc("b")))
+    assert len(db) == 1
+
+
+def test_same_edge_different_test_kept():
+    db = EdgeDB()
+    db.add(edge(exc("a"), exc("b"), test_id="t1"))
+    db.add(edge(exc("a"), exc("b"), test_id="t2"))
+    assert len(db) == 2
+    assert db.tests() == {"t1", "t2"}
+
+
+def test_same_edge_different_type_kept():
+    db = EdgeDB()
+    db.add(edge(exc("a"), exc("b"), etype=EdgeType.E_I))
+    db.add(edge(exc("a"), exc("b"), etype=EdgeType.E_D))
+    assert len(db) == 2
+
+
+def test_rediscovery_merges_states():
+    db = EdgeDB()
+    s1 = state(("f1", "f0"))
+    s2 = state(("g1", "g0"))
+    db.add(edge(exc("a"), exc("b"), dst_states=[s1]))
+    db.add(edge(exc("a"), exc("b"), dst_states=[s2]))
+    assert len(db) == 1
+    merged = db.edges_from(exc("a"))[0]
+    assert merged.dst_states == frozenset({s1, s2})
+
+
+def test_merged_edge_still_indexed_by_src():
+    db = EdgeDB()
+    s1, s2 = state(("f1", "f0")), state(("g1", "g0"))
+    db.add(edge(exc("a"), exc("b"), src_states=[s1]))
+    db.add(edge(exc("a"), exc("b"), src_states=[s2]))
+    assert len(db.edges_from(exc("a"))) == 1
+    assert db.edges_from(exc("a"))[0].src_states == frozenset({s1, s2})
+
+
+def test_faults_and_iteration():
+    db = EdgeDB()
+    db.add_all([edge(exc("a"), exc("b")), edge(exc("b"), exc("c"))])
+    assert db.faults() == {exc("a"), exc("b"), exc("c")}
+    assert len(list(db)) == 2
+
+
+def test_add_all_returns_new_count():
+    db = EdgeDB()
+    e = edge(exc("a"), exc("b"))
+    assert db.add_all([e, e, edge(exc("b"), exc("c"))]) == 2

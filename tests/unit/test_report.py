@@ -1,0 +1,92 @@
+"""Unit tests for detection reports and ground-truth matching."""
+
+from repro.core.cycles import Cycle
+from repro.core.report import build_report, match_bugs
+from repro.systems.base import KnownBug, SystemSpec
+from repro.instrument.sites import SiteRegistry
+from repro.types import EdgeType
+
+from tests.helpers import dly, edge, exc, neg
+
+
+def make_spec():
+    spec = SystemSpec(name="s", registry=SiteRegistry("s"))
+    spec.known_bugs = [
+        KnownBug(
+            bug_id="B-1",
+            description="",
+            signature="1D|1E|0N",
+            core_faults=frozenset({dly("L"), exc("x")}),
+        ),
+        KnownBug(
+            bug_id="B-2",
+            description="",
+            signature="0D|2E|0N",
+            core_faults=frozenset({exc("p"), exc("q")}),
+        ),
+    ]
+    return spec
+
+
+def cyc(*edges):
+    return Cycle(tuple(edges))
+
+
+def test_match_bugs_by_core_fault_subset():
+    spec = make_spec()
+    c1 = cyc(
+        edge(dly("L"), exc("x"), etype=EdgeType.E_D),
+        edge(exc("x"), dly("L"), etype=EdgeType.SP_I, test_id="t2"),
+    )
+    matches = match_bugs(spec, [c1])
+    assert matches[0].detected
+    assert not matches[1].detected
+
+
+def test_partial_core_faults_do_not_match():
+    spec = make_spec()
+    c = cyc(edge(exc("x"), exc("x")))  # only one of B-1's two core faults
+    matches = match_bugs(spec, [c])
+    assert not matches[0].detected
+
+
+def test_build_report_counts():
+    spec = make_spec()
+    cycles = [
+        cyc(
+            edge(dly("L"), exc("x"), etype=EdgeType.E_D),
+            edge(exc("x"), dly("L"), etype=EdgeType.SP_I, test_id="t2"),
+        ),
+        cyc(edge(exc("z"), exc("z"))),
+    ]
+    report = build_report(spec, cycles, None, n_faults=10, budget_used=40)
+    assert report.summary()["cycles"] == 2
+    assert report.detected_bugs == ["B-1"]
+    assert report.missed_bugs == ["B-2"]
+    # One cluster contains the ground-truth cycle.
+    assert len(report.true_positive_clusters()) == 1
+
+
+def test_best_cycle_is_shortest():
+    spec = make_spec()
+    short = cyc(
+        edge(dly("L"), exc("x"), etype=EdgeType.E_D),
+        edge(exc("x"), dly("L"), etype=EdgeType.SP_I, test_id="t2"),
+    )
+    long = cyc(
+        edge(dly("L"), exc("x"), etype=EdgeType.E_D),
+        edge(exc("x"), exc("y"), test_id="t2"),
+        edge(exc("y"), dly("L"), etype=EdgeType.SP_I, test_id="t3"),
+    )
+    report = build_report(spec, [long, short], None)
+    match = report.bug_matches[0]
+    assert match.best_cycle is not None
+    assert len(match.best_cycle) == 2
+
+
+def test_empty_cycle_list_reports_all_missed():
+    spec = make_spec()
+    report = build_report(spec, [], None)
+    assert report.detected_bugs == []
+    assert len(report.missed_bugs) == 2
+    assert report.true_positive_clusters() == []

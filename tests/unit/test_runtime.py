@@ -1,0 +1,198 @@
+"""Unit tests for the instrumentation runtime agent."""
+
+import pytest
+
+from repro.errors import IOEx
+from repro.instrument import InjectionPlan, Runtime, SiteRegistry
+from repro.instrument.runtime import NullRuntime
+from repro.instrument.trace import RunTrace
+from repro.types import FaultKey, InjKind
+
+
+@pytest.fixture
+def registry():
+    reg = SiteRegistry("toy")
+    reg.loop("toy.outer", "Toy.run")
+    reg.loop("toy.inner", "Toy.run", parent="toy.outer", order=0)
+    reg.throw("toy.ioe", "Toy.step", exception="IOException")
+    reg.detector("toy.is_stale", "Toy.check", error_value=True)
+    reg.branch("toy.b1", "Toy.step")
+    return reg
+
+
+def make_rt(registry, plan=None):
+    trace = RunTrace(test_id="t1", injection=plan)
+    return Runtime(registry, trace=trace, plan=plan), trace
+
+
+class TestThrowPoint:
+    def test_no_injection_no_natural_is_noop(self, registry):
+        rt, trace = make_rt(registry)
+        rt.throw_point("toy.ioe", IOEx, natural=False)
+        assert trace.events == []
+        assert "toy.ioe" in trace.reached
+
+    def test_natural_condition_raises_and_records(self, registry):
+        rt, trace = make_rt(registry)
+        with pytest.raises(IOEx):
+            rt.throw_point("toy.ioe", IOEx, natural=True)
+        assert len(trace.events) == 1
+        event = trace.events[0]
+        assert event.fault == FaultKey("toy.ioe", InjKind.EXCEPTION)
+        assert not event.injected
+
+    def test_injection_fires_once(self, registry):
+        plan = InjectionPlan(FaultKey("toy.ioe", InjKind.EXCEPTION))
+        rt, trace = make_rt(registry, plan)
+        with pytest.raises(IOEx):
+            rt.throw_point("toy.ioe", IOEx, natural=False)
+        # Second reach: injection already fired, no natural condition.
+        rt.throw_point("toy.ioe", IOEx, natural=False)
+        injected = [e for e in trace.events if e.injected]
+        assert len(injected) == 1
+
+    def test_injection_raises_declared_type(self, registry):
+        plan = InjectionPlan(FaultKey("toy.ioe", InjKind.EXCEPTION))
+        rt, _ = make_rt(registry, plan)
+        with pytest.raises(IOEx):
+            rt.throw_point("toy.ioe", IOEx)
+
+    def test_injection_does_not_fire_at_other_sites(self, registry):
+        plan = InjectionPlan(FaultKey("toy.ioe", InjKind.EXCEPTION))
+        rt, trace = make_rt(registry, plan)
+        registry.throw("toy.other", "Toy.step2")
+        rt.throw_point("toy.other", IOEx, natural=False)
+        assert trace.events == []
+
+
+class TestDetector:
+    def test_natural_error_value_recorded(self, registry):
+        rt, trace = make_rt(registry)
+        assert rt.detector("toy.is_stale", True) is True
+        assert len(trace.events) == 1
+        assert trace.events[0].fault == FaultKey("toy.is_stale", InjKind.NEGATION)
+
+    def test_non_error_value_not_recorded(self, registry):
+        rt, trace = make_rt(registry)
+        assert rt.detector("toy.is_stale", False) is False
+        assert trace.events == []
+
+    def test_sticky_negation_flips_every_call(self, registry):
+        plan = InjectionPlan(FaultKey("toy.is_stale", InjKind.NEGATION), sticky=True)
+        rt, trace = make_rt(registry, plan)
+        assert rt.detector("toy.is_stale", False) is True
+        assert rt.detector("toy.is_stale", False) is True
+        assert sum(1 for e in trace.events if e.injected) == 2
+
+    def test_one_shot_negation_flips_once(self, registry):
+        plan = InjectionPlan(FaultKey("toy.is_stale", InjKind.NEGATION), sticky=False)
+        rt, _ = make_rt(registry, plan)
+        assert rt.detector("toy.is_stale", False) is True
+        assert rt.detector("toy.is_stale", False) is False
+
+
+class TestLoop:
+    def test_iteration_counting(self, registry):
+        rt, trace = make_rt(registry)
+        total = sum(x for x in rt.loop("toy.outer", range(5)))
+        assert total == 10
+        assert trace.loop_counts["toy.outer"] == 5
+
+    def test_delay_injection_spins_every_iteration(self, registry):
+        class FakeEnv:
+            def __init__(self):
+                self.spun = 0.0
+                self.now = 0.0
+
+            def spin(self, ms):
+                self.spun += ms
+
+        plan = InjectionPlan(FaultKey("toy.outer", InjKind.DELAY), delay_ms=100.0)
+        rt, _ = make_rt(registry, plan)
+        env = FakeEnv()
+        rt.bind_env(env)
+        for _ in rt.loop("toy.outer", range(7)):
+            pass
+        assert env.spun == pytest.approx(700.0)
+
+    def test_loop_guard_counts_true_evaluations(self, registry):
+        rt, trace = make_rt(registry)
+        i = 0
+        with rt.function("Toy.run"):
+            while rt.loop_guard("toy.outer", i < 4):
+                i += 1
+        assert trace.loop_counts["toy.outer"] == 4
+
+    def test_nested_loop_states_have_distinct_scopes(self, registry):
+        rt, trace = make_rt(registry)
+        with rt.function("Toy.caller"):
+            with rt.function("Toy.run"):
+                for _ in rt.loop("toy.outer", range(2)):
+                    rt.branch("toy.b_outer", True)
+                    for _ in rt.loop("toy.inner", range(2)):
+                        rt.branch("toy.b_inner", False)
+        inner_states = trace.loop_states["toy.inner"]
+        assert all(s.branch_trace == (("toy.b_inner", False),) for s in inner_states)
+        outer_states = trace.loop_states["toy.outer"]
+        # Outer iteration scope saw its own branch only (inner scope popped).
+        assert all(s.branch_trace == (("toy.b_outer", True),) for s in outer_states)
+
+
+class TestLocalState:
+    def test_call_stack_excludes_enclosing_function(self, registry):
+        rt, trace = make_rt(registry)
+        with rt.function("Toy.grandparent"):
+            with rt.function("Toy.parent"):
+                with rt.function("Toy.step"):
+                    with pytest.raises(IOEx):
+                        rt.throw_point("toy.ioe", IOEx, natural=True)
+        state = trace.events[0].state
+        assert state.call_stack == ("Toy.parent", "Toy.grandparent")
+
+    def test_shallow_stack_padded_with_root(self, registry):
+        rt, trace = make_rt(registry)
+        with rt.function("Toy.step"):
+            with pytest.raises(IOEx):
+                rt.throw_point("toy.ioe", IOEx, natural=True)
+        assert trace.events[0].state.call_stack == ("<root>", "<root>")
+
+    def test_branch_trace_is_local_to_function(self, registry):
+        rt, trace = make_rt(registry)
+        with rt.function("Toy.parent"):
+            rt.branch("toy.b_outer_fn", True)
+            with rt.function("Toy.step"):
+                rt.branch("toy.b1", True)
+                rt.branch("toy.b2", False)
+                with pytest.raises(IOEx):
+                    rt.throw_point("toy.ioe", IOEx, natural=True)
+        state = trace.events[0].state
+        assert state.branch_trace == (("toy.b1", True), ("toy.b2", False))
+
+    def test_branch_trace_is_local_to_loop_iteration(self, registry):
+        rt, trace = make_rt(registry)
+        with rt.function("Toy.run"):
+            hit = False
+            for i in rt.loop("toy.outer", range(3)):
+                rt.branch("toy.b_iter", i == 2)
+                if i == 2 and not hit:
+                    hit = True
+                    with pytest.raises(IOEx):
+                        rt.throw_point("toy.ioe", IOEx, natural=True)
+        state = trace.events[0].state
+        assert state.branch_trace == (("toy.b_iter", True),)
+
+
+class TestDisabledRuntime:
+    def test_null_runtime_records_nothing(self, registry):
+        rt = NullRuntime(registry)
+        for _ in rt.loop("toy.outer", range(10)):
+            rt.branch("toy.b1", True)
+        assert rt.detector("toy.is_stale", True) is True
+        rt.throw_point("toy.ioe", IOEx, natural=False)
+        assert rt.trace.loop_counts == {}
+        assert rt.trace.events == []
+
+    def test_null_runtime_still_raises_natural_faults(self, registry):
+        rt = NullRuntime(registry)
+        with pytest.raises(IOEx):
+            rt.throw_point("toy.ioe", IOEx, natural=True)

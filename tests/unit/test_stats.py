@@ -1,0 +1,59 @@
+"""Unit tests for the one-sided t-test helper."""
+
+import pytest
+
+from repro.core.stats import one_sided_t_pvalue, significant_increase
+
+
+def test_clear_increase_is_significant():
+    assert one_sided_t_pvalue([10, 11, 12, 11, 10], [5, 6, 5, 6, 5]) < 0.01
+
+
+def test_equal_samples_not_significant():
+    assert one_sided_t_pvalue([5, 6, 5, 6, 5], [5, 6, 5, 6, 5]) >= 0.1
+
+
+def test_decrease_not_significant():
+    assert one_sided_t_pvalue([1, 2, 1, 2, 1], [9, 10, 9, 10, 9]) > 0.5
+
+
+def test_constant_equal_samples_pvalue_one():
+    assert one_sided_t_pvalue([3, 3, 3], [3, 3, 3]) == 1.0
+
+
+def test_constant_strict_increase_pvalue_zero():
+    # Deterministic counterfactual runs: identical seeds, counts constant.
+    assert one_sided_t_pvalue([7, 7, 7], [3, 3, 3]) == 0.0
+
+
+def test_constant_decrease_pvalue_one():
+    assert one_sided_t_pvalue([3, 3, 3], [7, 7, 7]) == 1.0
+
+
+def test_too_few_samples_no_evidence():
+    assert one_sided_t_pvalue([5], [1, 1, 1]) == 1.0
+    assert one_sided_t_pvalue([5, 6], [1]) == 1.0
+    assert one_sided_t_pvalue([], []) == 1.0
+
+
+def test_one_side_constant_still_works():
+    p = one_sided_t_pvalue([10, 10, 10, 10, 10], [5, 6, 5, 6, 5])
+    assert p < 0.05
+
+
+def test_significant_increase_uses_threshold():
+    treatment = [12, 13, 12, 14, 12]
+    control = [10, 11, 10, 11, 10]
+    p = one_sided_t_pvalue(treatment, control)
+    assert significant_increase(treatment, control, p_value=max(p * 1.5, 1e-9) if p else 0.1)
+    assert not significant_increase(treatment, control, p_value=p * 0.5)
+
+
+def test_significant_increase_empty_treatment_false():
+    assert not significant_increase([], [1, 2, 3])
+
+
+def test_noisy_equal_means_not_significant():
+    a = [100, 102, 98, 101, 99]
+    b = [99, 101, 100, 98, 102]
+    assert one_sided_t_pvalue(a, b) > 0.1
