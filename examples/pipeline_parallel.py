@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Pipeline API tour: parallel, observable, resumable campaigns.
+
+Runs the toy campaign twice — serial and with four workers — through the
+staged pipeline API, shows stage progress events, persists a session, and
+demonstrates that parallel execution and session resume are bit-identical
+to the straight-through serial run.
+
+    python examples/pipeline_parallel.py
+"""
+
+import tempfile
+
+from repro.config import CSnakeConfig
+from repro.pipeline import Pipeline, ProgressPrinter, Session
+from repro.systems import get_system
+
+CONFIG = dict(repeats=3, delay_values_ms=(500.0, 2000.0, 8000.0), seed=7)
+
+
+def main() -> None:
+    spec = get_system("toy")
+
+    print("— serial campaign, with progress events —")
+    serial_cfg = CSnakeConfig(**CONFIG)
+    serial = Pipeline.default(
+        get_system("toy"), serial_cfg, observers=[ProgressPrinter()]
+    ).run()
+
+    print("\n— same campaign, four workers, persisted to a session —")
+    parallel_cfg = CSnakeConfig(experiment_workers=4, **CONFIG)
+    session_dir = tempfile.mkdtemp(prefix="csnake-session-")
+    session = Session.attach(session_dir, spec.name, parallel_cfg)
+    parallel = Pipeline.default(
+        get_system("toy"), parallel_cfg, session=session
+    ).run()
+
+    a, b = serial.get("report"), parallel.get("report")
+    print("parallel == serial:", a.to_dict() == b.to_dict())
+
+    print("\n— resume from the session: every stage loads, nothing re-runs —")
+    reopened = Session.open(session_dir)
+    resumed = Pipeline.default(
+        get_system(reopened.system),
+        reopened.config,
+        session=reopened,
+        observers=[ProgressPrinter()],
+    ).run()
+    print("resumed == serial:", resumed.get("report").to_dict() == a.to_dict())
+    print("session files under", session_dir)
+
+    print("\nreport:", a.summary())
+    for bug_id in a.detected_bugs:
+        print("  detected:", bug_id)
+
+
+if __name__ == "__main__":
+    main()

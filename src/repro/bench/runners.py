@@ -2,8 +2,11 @@
 
 A *campaign* is one full CSnake evaluation of one system: static analysis,
 profile runs, 3PA-allocated fault injection, FCA, beam search, cycle
-clustering, and ground-truth matching.  The benchmark files regenerate the
-paper's tables from campaign results.
+clustering, and ground-truth matching.  Campaigns run through the staged
+:class:`repro.pipeline.Pipeline` (via the ``CSnake`` wrapper), so the
+benchmarks exercise exactly the code path of ``repro run`` — including
+parallel experiment fan-out when ``parallel > 1``.  The benchmark files
+regenerate the paper's tables from campaign results.
 """
 
 from __future__ import annotations
@@ -11,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..config import CSnakeConfig
+from ..config import FAST_DELAY_VALUES_MS, CSnakeConfig
 from ..core.beam import BeamSearch
 from ..core.detector import CSnake
 from ..core.driver import ExperimentDriver
@@ -40,7 +43,7 @@ def bench_config(system: str, **overrides: object) -> CSnakeConfig:
     keep the campaign tractable; everything else is the paper default."""
     params = dict(
         repeats=3,
-        delay_values_ms=(250.0, 1000.0, 8000.0),
+        delay_values_ms=FAST_DELAY_VALUES_MS,
         seed=7,
         budget_per_fault=BUDGET_PER_FAULT.get(system, 8),
         beam_width=30_000,
@@ -80,13 +83,25 @@ class CampaignResult:
         return max(1, max(phases))
 
 
-def run_campaign(system: str, config: Optional[CSnakeConfig] = None) -> CampaignResult:
-    """One full CSnake evaluation of one system."""
+def run_campaign(
+    system: str,
+    config: Optional[CSnakeConfig] = None,
+    parallel: Optional[int] = None,
+) -> CampaignResult:
+    """One full CSnake evaluation of one system, through the pipeline.
+
+    ``parallel`` overrides ``config.experiment_workers``; parallel and
+    serial campaigns produce identical results (the pipeline commits
+    experiment results in schedule order).
+    """
+    import dataclasses
     import time
 
     t0 = time.perf_counter()
     spec = get_system(system)
     cfg = config or bench_config(system)
+    if parallel is not None:
+        cfg = dataclasses.replace(cfg, experiment_workers=parallel)
     detector = CSnake(spec, cfg)
     report = detector.run()
     return CampaignResult(

@@ -1,22 +1,35 @@
-"""Command-line interface: run CSnake against a bundled system.
+"""Command-line interface: run the CSnake pipeline against a bundled system.
 
 Examples::
 
     python -m repro.cli list
     python -m repro.cli run toy
-    python -m repro.cli run minihdfs2 --budget 10 --seed 7
+    python -m repro.cli run toy --parallel 4 --session-dir /tmp/s --out report.json
+    python -m repro.cli run minihdfs2 --budget 10 --seed 7 --stages analyze,profile
+    python -m repro.cli resume /tmp/s
     python -m repro.cli inject minihbase hm.assign.rpc:exception hbase.rs_fault_tolerance
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import List, Optional
 
 from .config import CSnakeConfig
-from .core import CSnake
 from .core.driver import ExperimentDriver
+from .core.report import DetectionReport
+from .errors import ReproError
+from .pipeline import (
+    STAGE_NAMES,
+    Pipeline,
+    ProgressPrinter,
+    Session,
+    default_stages,
+    make_executor,
+)
 from .systems import available_systems, get_system
 from .types import FaultKey, InjKind
 
@@ -31,16 +44,94 @@ def _parse_fault(text: str) -> FaultKey:
         )
 
 
+def _parse_delays(text: str) -> tuple:
+    try:
+        values = tuple(float(v) for v in text.split(",") if v.strip())
+    except ValueError:
+        raise SystemExit("--delays must be comma-separated milliseconds, got %r" % text)
+    if not values:
+        raise SystemExit("--delays needs at least one value")
+    return values
+
+
+def _parse_stages(text: str) -> List[str]:
+    names = [n.strip() for n in text.split(",") if n.strip()]
+    unknown = [n for n in names if n not in STAGE_NAMES]
+    if unknown:
+        raise SystemExit(
+            "unknown stage(s) %s; choose from %s"
+            % (", ".join(unknown), ", ".join(STAGE_NAMES))
+        )
+    return names
+
+
 def _config(args: argparse.Namespace) -> CSnakeConfig:
+    """Build a config from the experiment flags the user actually passed;
+    everything else keeps the ``CSnakeConfig`` (paper) defaults."""
     params = {}
-    if args.budget is not None:
+    if getattr(args, "budget", None) is not None:
         params["budget_per_fault"] = args.budget
-    if args.seed is not None:
+    if getattr(args, "seed", None) is not None:
         params["seed"] = args.seed
-    if args.repeats is not None:
+    if getattr(args, "repeats", None) is not None:
         params["repeats"] = args.repeats
-    params.setdefault("delay_values_ms", (250.0, 1000.0, 8000.0))
+    if getattr(args, "delays", None) is not None:
+        params["delay_values_ms"] = _parse_delays(args.delays)
+    if getattr(args, "parallel", None) is not None:
+        params["experiment_workers"] = args.parallel
     return CSnakeConfig(**params)
+
+
+def _print_report(report: DetectionReport, args: argparse.Namespace) -> None:
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=1, sort_keys=True)
+        print()
+        return
+    print("system: %s" % report.system)
+    for key, value in report.summary().items():
+        print("  %-14s %s" % (key, value))
+    for match in report.bug_matches:
+        status = "DETECTED" if match.detected else "missed"
+        line = "  [%s] %s" % (status, match.bug.bug_id)
+        if match.detected:
+            cycle = match.best_cycle
+            line += "  %s via %d tests" % (cycle.signature(), len(cycle.tests()))
+        print(line)
+
+
+def _run_pipeline(
+    spec_name: str,
+    config: CSnakeConfig,
+    args: argparse.Namespace,
+    session: Optional[Session],
+    stage_names: Optional[List[str]],
+) -> int:
+    spec = get_system(spec_name)
+    stages = default_stages()
+    if stage_names is not None:
+        stages = [s for s in stages if s.name in stage_names]
+    observers = [ProgressPrinter()] if args.verbose else []
+    pipeline = Pipeline(
+        spec,
+        config,
+        stages=stages,
+        executor=make_executor(config.experiment_workers),
+        observers=observers,
+        session=session,
+    )
+    ctx = pipeline.run()
+    report = ctx.get("report")
+    if report is None:
+        # Partial --stages run: report which artifacts were produced.
+        print("completed stages: %s" % ", ".join(s.name for s in stages))
+        print("artifacts: %s" % ", ".join(ctx.names()))
+        return 0
+    _print_report(report, args)
+    return 0 if report.detected_bugs else 1
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -54,20 +145,26 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    detector = CSnake(get_system(args.system), _config(args))
-    report = detector.run()
-    summary = report.summary()
-    print("system: %s" % args.system)
-    for key, value in summary.items():
-        print("  %-14s %s" % (key, value))
-    for match in report.bug_matches:
-        status = "DETECTED" if match.detected else "missed"
-        line = "  [%s] %s" % (status, match.bug.bug_id)
-        if match.detected:
-            cycle = match.best_cycle
-            line += "  %s via %d tests" % (cycle.signature(), len(cycle.tests()))
-        print(line)
-    return 0 if report.detected_bugs else 1
+    config = _config(args)
+    stage_names = _parse_stages(args.stages) if args.stages else None
+    if stage_names is not None and "report" not in stage_names and (args.json or args.out):
+        # A partial run produces no report; don't let --json emit non-JSON
+        # text or --out silently write nothing.
+        raise SystemExit(
+            "--json/--out need the report stage; add it to --stages or drop the flag"
+        )
+    session = None
+    if args.session_dir:
+        session = Session.attach(args.session_dir, args.system, config)
+    return _run_pipeline(args.system, config, args, session, stage_names)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    session = Session.open(args.session_dir)
+    config = session.config
+    if args.parallel is not None:
+        config = dataclasses.replace(config, experiment_workers=args.parallel)
+    return _run_pipeline(session.system, config, args, session, None)
 
 
 def cmd_inject(args: argparse.Namespace) -> int:
@@ -83,28 +180,76 @@ def cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags meaningful only to experiment-running subcommands."""
+    parser.add_argument("--budget", type=int, default=None, help="budget per fault")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--delays",
+        default=None,
+        metavar="MS,MS,...",
+        help="delay sweep in virtual ms (default: the paper's 7-point sweep)",
+    )
+
+
+def _add_output_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", action="store_true", help="print the report as JSON")
+    parser.add_argument("--out", default=None, metavar="FILE", help="write report JSON to FILE")
+    parser.add_argument("-v", "--verbose", action="store_true", help="stage progress on stderr")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list bundled target systems")
 
-    run = sub.add_parser("run", help="run the full detection pipeline")
+    run = sub.add_parser("run", help="run the detection pipeline")
     run.add_argument("system", choices=available_systems())
+    run.add_argument(
+        "--stages",
+        default=None,
+        metavar="NAME,NAME,...",
+        help="run only these stages (of: %s)" % ", ".join(STAGE_NAMES),
+    )
+    run.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="fan experiments out over N workers (default 1)",
+    )
+    run.add_argument(
+        "--session-dir", default=None, metavar="DIR",
+        help="persist per-stage artifacts under DIR (resumable)",
+    )
+    _add_experiment_flags(run)
+    _add_output_flags(run)
+
+    resume = sub.add_parser("resume", help="resume an interrupted --session-dir run")
+    resume.add_argument("session_dir", metavar="DIR")
+    resume.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="override the session's worker count (results are unaffected)",
+    )
+    _add_output_flags(resume)
 
     inject = sub.add_parser("inject", help="run one fault injection experiment")
     inject.add_argument("system", choices=available_systems())
     inject.add_argument("fault", help="<site>:<delay|exception|negation>")
     inject.add_argument("test", help="workload/test id")
-
-    for p in sub.choices.values():
-        p.add_argument("--budget", type=int, default=None, help="budget per fault")
-        p.add_argument("--seed", type=int, default=None)
-        p.add_argument("--repeats", type=int, default=None)
+    _add_experiment_flags(inject)
 
     args = parser.parse_args(argv)
-    handler = {"list": cmd_list, "run": cmd_run, "inject": cmd_inject}[args.command]
-    return handler(args)
+    handler = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "resume": cmd_resume,
+        "inject": cmd_inject,
+    }[args.command]
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

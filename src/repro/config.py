@@ -2,14 +2,22 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+import math
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Tuple
 
 from .errors import ConfigError
 
 #: Delay sweep used for contention injection (§4.2): seven values between
 #: 100 ms and 8 s, in virtual milliseconds.
 DELAY_VALUES_MS: Tuple[float, ...] = (100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0, 8000.0)
+
+#: Reduced three-point delay sweep used by the benchmark suite and CI smoke
+#: runs: one value per decade keeps campaigns tractable while still
+#: exercising the short/medium/long contention regimes.  CLI invocations
+#: default to the full :data:`DELAY_VALUES_MS` sweep; pass ``--delays`` to
+#: select this (or any other) sweep explicitly.
+FAST_DELAY_VALUES_MS: Tuple[float, ...] = (250.0, 1000.0, 8000.0)
 
 #: Number of repetitions of every profile and injection run (§4.3).
 DEFAULT_REPEATS = 5
@@ -70,6 +78,11 @@ class CSnakeConfig:
     compat_check: bool = True
     #: Number of worker threads for the parallel beam search (1 = serial).
     beam_workers: int = 1
+    #: Number of worker threads for profile and injection experiments
+    #: (1 = serial).  Parallel campaigns are bit-identical to serial ones:
+    #: experiment *scheduling* is decided before execution and results are
+    #: committed in schedule order.
+    experiment_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.repeats < 2:
@@ -80,10 +93,29 @@ class CSnakeConfig:
             raise ConfigError("budget_per_fault must be positive")
         if not self.delay_values_ms:
             raise ConfigError("delay_values_ms must be non-empty")
+        if any(not math.isfinite(v) or v <= 0 for v in self.delay_values_ms):
+            raise ConfigError("delay values must be finite and positive (virtual ms)")
         if self.beam_width < 1:
             raise ConfigError("beam_width must be positive")
         if self.max_chain_len < 2:
             raise ConfigError("cycles need at least 2 edges")
+        if self.beam_workers < 1 or self.experiment_workers < 1:
+            raise ConfigError("worker counts must be at least 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible dump, inverse of :meth:`from_dict`."""
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "CSnakeConfig":
+        params = dict(obj)
+        if "delay_values_ms" in params:
+            params["delay_values_ms"] = tuple(params["delay_values_ms"])
+        return cls(**params)
 
     def phase_budgets(self, n_faults: int) -> Tuple[int, int, int]:
         """Split the total budget ``budget_per_fault * n_faults`` 25/50/25."""

@@ -14,12 +14,22 @@ from .allocation import AllocationOutcome, ThreePhaseAllocator
 from .beam import BeamSearch, BeamSearchResult
 from .compat import CompatChecker
 from .cycles import Cycle, CycleCluster, cluster_cycles
-from .detector import CSnake
 from .driver import ExperimentDriver, run_workload
 from .edges import EdgeDB
 from .fca import FaultCausalityAnalysis, FcaResult
 from .idf import IdfVectorizer, cosine_distance
 from .report import BugMatch, DetectionReport, build_report
+
+
+def __getattr__(name: str):
+    # CSnake wraps repro.pipeline, which itself imports repro.core —
+    # resolving the facade lazily keeps the packages import-order agnostic.
+    if name == "CSnake":
+        from .detector import CSnake
+
+        return CSnake
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
 
 __all__ = [
     "CSnake",

@@ -9,13 +9,24 @@ weighting clusters by ``max(ε, 1 − SimScore)`` so clusters with
 *conditional* causal consequences — a fault causing different things in
 different workloads — receive more budget.  Unused quota transfers between
 clusters per §5.2.
+
+Within one phase, allocation *decisions* depend only on the seeded RNG and
+on which (fault, test) combinations were already scheduled — never on the
+outcome of an experiment; results only feed the clustering and SimScore
+steps *between* phases.  The allocator exploits this: with an executor it
+schedules a whole phase first, then flushes the scheduled experiments as
+one parallel batch, committing results in schedule order.  A parallel
+allocation is therefore bit-identical to a serial one.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pipeline.executor import Executor
 
 from ..config import CSnakeConfig
 from ..types import FaultKey
@@ -28,12 +39,16 @@ from .simscore import allocation_weight, cluster_sim_scores, fault_sim_scores
 
 @dataclass
 class AllocationRecord:
-    """One consumed budget unit: a (fault, test) injection experiment."""
+    """One consumed budget unit: a (fault, test) injection experiment.
+
+    ``result`` is ``None`` only transiently, while the experiment is
+    scheduled but not yet flushed (deferred batch execution).
+    """
 
     phase: int
     fault: FaultKey
     test_id: str
-    result: FcaResult
+    result: Optional[FcaResult]
 
 
 @dataclass
@@ -60,13 +75,16 @@ class ThreePhaseAllocator:
         driver: ExperimentDriver,
         faults: Sequence[FaultKey],
         config: Optional[CSnakeConfig] = None,
+        executor: Optional["Executor"] = None,
     ) -> None:
         self.driver = driver
         self.faults = sorted(set(faults))
         self.config = config or driver.config
+        self.executor = executor
         self.rng = random.Random(self.config.seed * 31 + 7)
         self._used_tests: Dict[FaultKey, Set[str]] = {f: set() for f in self.faults}
         self._reaching: Dict[FaultKey, List[str]] = {}
+        self._scheduled: List[AllocationRecord] = []
         self.outcome = AllocationOutcome()
 
     # ------------------------------------------------------------- plumbing
@@ -83,12 +101,27 @@ class ThreePhaseAllocator:
         return [t for t in self._reaching_tests(fault) if t not in used]
 
     def _run(self, phase: int, fault: FaultKey, test_id: str) -> AllocationRecord:
-        result = self.driver.run_experiment(fault, test_id)
+        """Schedule one budget unit; execution may be deferred to `_flush`."""
         self._used_tests[fault].add(test_id)
-        record = AllocationRecord(phase=phase, fault=fault, test_id=test_id, result=result)
+        if self.executor is None:
+            result = self.driver.run_experiment(fault, test_id)
+            record = AllocationRecord(phase=phase, fault=fault, test_id=test_id, result=result)
+        else:
+            record = AllocationRecord(phase=phase, fault=fault, test_id=test_id, result=None)
+            self._scheduled.append(record)
         self.outcome.records.append(record)
         self.outcome.budget_used += 1
         return record
+
+    def _flush(self) -> None:
+        """Execute all scheduled experiments as one (parallel) batch."""
+        if not self._scheduled:
+            return
+        pairs = [(r.fault, r.test_id) for r in self._scheduled]
+        results = self.driver.run_experiments(pairs, self.executor)
+        for record, result in zip(self._scheduled, results):
+            record.result = result
+        self._scheduled = []
 
     def _cluster_combos(self, cluster) -> List[Tuple[FaultKey, str]]:
         combos = []
@@ -204,15 +237,18 @@ class ThreePhaseAllocator:
         self.outcome.budget_total = p1 + p2 + p3
 
         leftover = self._phase_one(p1)
+        self._flush()
         clustering = self._cluster_phase_one()
         self.outcome.clustering = clustering
 
         leftover = self._phase_two(p2 + leftover, clustering)
+        self._flush()
 
         observations = self._fit_and_vectorize()
         self.outcome.cluster_scores = cluster_sim_scores(clustering, observations)
 
         self._phase_three(p3 + leftover, clustering)
+        self._flush()
 
         observations = self._fit_and_vectorize()
         self.outcome.cluster_scores = cluster_sim_scores(clustering, observations)

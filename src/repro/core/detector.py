@@ -1,8 +1,12 @@
-"""The CSnake facade: end-to-end pipeline over one target system.
+"""The CSnake facade, now a thin wrapper over :mod:`repro.pipeline`.
 
-Wires together the static analyzer, the workload driver, the 3PA budget
-allocator, the beam search, cycle clustering, and ground-truth matching
-(Figure 3 of the paper).
+Kept for backwards compatibility: ``CSnake(spec).run()`` and the
+per-stage methods (``analyze_static`` / ``allocate_and_inject`` /
+``detect_cycles`` / ``report``) behave exactly as before, but every one of
+them delegates to the composable pipeline stages, so facade users and
+``Pipeline`` users exercise the same code path.  New code should prefer
+:class:`repro.pipeline.Pipeline`, which adds stage-graph validation,
+parallel execution, progress events, and resumable sessions.
 """
 
 from __future__ import annotations
@@ -11,13 +15,23 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..config import CSnakeConfig
-from ..instrument.analyzer import AnalysisResult, analyze
+from ..instrument.analyzer import AnalysisResult
+from ..pipeline.context import PipelineContext
+from ..pipeline.executor import make_executor
+from ..pipeline.runner import Pipeline
+from ..pipeline.stages import (
+    AllocationStage,
+    BeamSearchStage,
+    ProfileStage,
+    ReportStage,
+    StaticAnalysisStage,
+)
 from ..systems.base import SystemSpec
 from ..types import FaultKey
-from .allocation import AllocationOutcome, ThreePhaseAllocator
-from .beam import BeamSearch, BeamSearchResult
+from .allocation import AllocationOutcome
+from .beam import BeamSearchResult
 from .driver import ExperimentDriver
-from .report import DetectionReport, build_report
+from .report import DetectionReport
 
 
 @dataclass
@@ -28,55 +42,61 @@ class CSnake:
     config: CSnakeConfig = field(default_factory=CSnakeConfig)
 
     def __post_init__(self) -> None:
-        self.analysis: Optional[AnalysisResult] = None
-        self.driver = ExperimentDriver(self.spec, self.config)
-        self.allocation: Optional[AllocationOutcome] = None
-        self.beam_result: Optional[BeamSearchResult] = None
+        self.ctx = PipelineContext(
+            self.spec, self.config, make_executor(self.config.experiment_workers)
+        )
+
+    # ----------------------------------------------------- legacy accessors
+
+    @property
+    def driver(self) -> ExperimentDriver:
+        return self.ctx.driver
+
+    @property
+    def analysis(self) -> Optional[AnalysisResult]:
+        return self.ctx.get("analysis")
+
+    @property
+    def allocation(self) -> Optional[AllocationOutcome]:
+        artifact = self.ctx.get("allocation")
+        return artifact.outcome if artifact is not None else None
+
+    @property
+    def beam_result(self) -> Optional[BeamSearchResult]:
+        return self.ctx.get("beam")
 
     # ---------------------------------------------------------------- stages
 
     def analyze_static(self) -> AnalysisResult:
         """Stage 1: static analyzer selects the injectable fault space F."""
-        self.analysis = analyze(self.spec.registry)
-        return self.analysis
+        StaticAnalysisStage().run(self.ctx)
+        return self.ctx.require("analysis")
 
     def allocate_and_inject(self, faults: Optional[List[FaultKey]] = None) -> AllocationOutcome:
         """Stages 2-3: profile runs, 3PA-allocated injections, FCA."""
-        if faults is None:
-            if self.analysis is None:
-                self.analyze_static()
-            faults = list(self.analysis.faults)
-        self.driver.profile_all()
-        allocator = ThreePhaseAllocator(self.driver, faults, self.config)
-        self.allocation = allocator.run()
-        return self.allocation
+        if faults is None and not self.ctx.has("analysis"):
+            self.analyze_static()
+        if not self.ctx.has("profiles"):
+            ProfileStage().run(self.ctx)
+        AllocationStage(faults=faults).run(self.ctx)
+        return self.ctx.require("allocation").outcome
 
     def detect_cycles(self) -> BeamSearchResult:
         """Stages 4-5: stitch compatible edges, beam-search for cycles."""
-        if self.allocation is None:
+        if not self.ctx.has("allocation"):
             raise RuntimeError("run allocate_and_inject() first")
-        beam = BeamSearch(self.config, self.allocation.fault_scores)
-        self.beam_result = beam.search(self.driver.edges.all_edges())
-        return self.beam_result
+        BeamSearchStage().run(self.ctx)
+        return self.ctx.require("beam")
 
     def report(self) -> DetectionReport:
-        if self.beam_result is None or self.allocation is None:
+        if not self.ctx.has("beam") or not self.ctx.has("allocation"):
             raise RuntimeError("pipeline has not run")
-        return build_report(
-            self.spec,
-            self.beam_result.cycles,
-            self.allocation.clustering,
-            n_faults=len(self.analysis.faults) if self.analysis else 0,
-            budget_used=self.allocation.budget_used,
-            runs_executed=self.driver.runs_executed,
-            n_edges=len(self.driver.edges),
-        )
+        ReportStage().run(self.ctx)
+        return self.ctx.require("report")
 
     # ------------------------------------------------------------------ main
 
     def run(self) -> DetectionReport:
         """Run the whole pipeline and return the detection report."""
-        self.analyze_static()
-        self.allocate_and_inject()
-        self.detect_cycles()
-        return self.report()
+        Pipeline(self.spec, self.config, ctx=self.ctx).run()
+        return self.ctx.require("report")

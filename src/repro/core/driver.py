@@ -7,14 +7,25 @@ randomness, differing only in the armed fault), which is the strongest
 form of the paper's profile/injection comparison.  Delay injections sweep
 the configured delay values (§4.2), one FCA per value, interferences
 unioned; the sweep counts as a single budget unit.
+
+Experiment execution is split into a pure *execute* step (run the seeded
+workload repetitions and FCA — no driver state touched) and an ordered
+*commit* step (edge DB, result log, counters).  ``run_experiments`` fans
+the execute steps out over a :class:`~repro.pipeline.executor.Executor`
+and commits in submission order, so a parallel campaign produces the
+exact same ``EdgeDB`` contents and counters as a serial one.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pipeline.executor import Executor
 
 from ..config import CSnakeConfig
 from ..errors import UnknownSite
@@ -64,6 +75,7 @@ class ExperimentDriver:
 
     def __post_init__(self) -> None:
         self._profiles: Dict[str, RunGroup] = {}
+        self._profile_lock = threading.Lock()
         self.fca = FaultCausalityAnalysis(self.spec.registry, self.config)
         self.edges = EdgeDB()
         self.results: List[FcaResult] = []
@@ -72,22 +84,53 @@ class ExperimentDriver:
 
     # -------------------------------------------------------------- profiles
 
-    def profile(self, test_id: str) -> RunGroup:
-        """Profile (fault-free) run group of a test; cached."""
-        group = self._profiles.get(test_id)
-        if group is None:
-            workload = self.spec.workloads[test_id]
-            group = RunGroup(test_id=test_id, injection=None)
-            for rep in range(self.config.repeats):
-                seed = _seed_for(test_id, rep, self.config.seed)
-                group.add(run_workload(self.spec, workload, None, seed))
-                self.runs_executed += 1
-            self._profiles[test_id] = group
+    def _compute_profile(self, test_id: str) -> RunGroup:
+        """Run the profile repetitions of a test (pure; no caching)."""
+        workload = self.spec.workloads[test_id]
+        group = RunGroup(test_id=test_id, injection=None)
+        for rep in range(self.config.repeats):
+            seed = _seed_for(test_id, rep, self.config.seed)
+            group.add(run_workload(self.spec, workload, None, seed))
         return group
 
-    def profile_all(self) -> None:
-        for test_id in self.spec.workload_ids():
-            self.profile(test_id)
+    def profile(self, test_id: str) -> RunGroup:
+        """Profile (fault-free) run group of a test; cached."""
+        with self._profile_lock:
+            group = self._profiles.get(test_id)
+            if group is None:
+                group = self._compute_profile(test_id)
+                self._profiles[test_id] = group
+                self.runs_executed += len(group)
+        return group
+
+    def profile_all(self, executor: Optional["Executor"] = None) -> None:
+        """Profile every workload, optionally fanning tests out over workers.
+
+        Profile runs of different tests are fully independent, so they can
+        execute concurrently; the cache is filled in workload-id order
+        either way.
+        """
+        pending = [t for t in self.spec.workload_ids() if t not in self._profiles]
+        if executor is None or executor.max_workers <= 1 or len(pending) <= 1:
+            for test_id in pending:
+                self.profile(test_id)
+            return
+        groups = executor.map(self._compute_profile, pending)
+        with self._profile_lock:
+            for test_id, group in zip(pending, groups):
+                if test_id not in self._profiles:
+                    self._profiles[test_id] = group
+                    self.runs_executed += len(group)
+
+    def profiles(self) -> Dict[str, RunGroup]:
+        """Snapshot of the profile cache (test id -> run group)."""
+        with self._profile_lock:
+            return dict(self._profiles)
+
+    def install_profiles(self, groups: Dict[str, RunGroup]) -> None:
+        """Seed the profile cache from persisted run groups (session resume)."""
+        with self._profile_lock:
+            self._profiles.update(groups)
 
     # -------------------------------------------------------------- coverage
 
@@ -122,25 +165,57 @@ class ExperimentDriver:
             InjectionPlan(fault, sticky=self.config.sticky_negation, warmup_ms=warmup)
         ]
 
-    def run_experiment(self, fault: FaultKey, test_id: str) -> FcaResult:
-        """One budget unit: inject ``fault`` into ``test_id`` and run FCA."""
+    def execute_experiment(self, fault: FaultKey, test_id: str) -> Tuple[FcaResult, int]:
+        """Pure execution of one experiment: returns (FCA result, runs used).
+
+        Touches no driver state beyond the (lock-protected) profile cache,
+        so executions of distinct (fault, test) pairs may run concurrently.
+        """
         if fault.site_id not in self.spec.registry:
             raise UnknownSite(fault.site_id)
         workload = self.spec.workloads[test_id]
         profile = self.profile(test_id)
         combined = FcaResult(fault=fault, test_id=test_id)
         interference: Set[FaultKey] = set()
+        runs = 0
         for plan in self._plans_for(fault):
             group = RunGroup(test_id=test_id, injection=plan)
             for rep in range(self.config.repeats):
                 seed = _seed_for(test_id, rep, self.config.seed)
                 group.add(run_workload(self.spec, workload, plan, seed))
-                self.runs_executed += 1
+                runs += 1
             partial = self.fca.analyze(profile, group)
             combined.edges.extend(partial.edges)
             interference.update(partial.interference)
         combined.interference = sorted(interference)
-        self.edges.add_all(combined.edges)
-        self.results.append(combined)
+        return combined, runs
+
+    def commit_result(self, result: FcaResult, runs: int = 0) -> FcaResult:
+        """Fold an executed experiment into the edge DB and counters."""
+        self.edges.add_all(result.edges)
+        self.results.append(result)
         self.experiments_run += 1
-        return combined
+        self.runs_executed += runs
+        return result
+
+    def run_experiment(self, fault: FaultKey, test_id: str) -> FcaResult:
+        """One budget unit: inject ``fault`` into ``test_id`` and run FCA."""
+        result, runs = self.execute_experiment(fault, test_id)
+        return self.commit_result(result, runs)
+
+    def run_experiments(
+        self,
+        pairs: Iterable[Tuple[FaultKey, str]],
+        executor: Optional["Executor"] = None,
+    ) -> List[FcaResult]:
+        """Run a batch of independent (fault, test) experiments.
+
+        With an executor, executions fan out across its workers while
+        commits happen in ``pairs`` order — the hot path of every campaign,
+        and bit-identical to running the batch serially.
+        """
+        pairs = list(pairs)
+        if executor is None or executor.max_workers <= 1 or len(pairs) <= 1:
+            return [self.run_experiment(fault, test_id) for fault, test_id in pairs]
+        executed = executor.map(lambda p: self.execute_experiment(*p), pairs)
+        return [self.commit_result(result, runs) for result, runs in executed]

@@ -3,11 +3,45 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..systems.base import KnownBug, SystemSpec
 from .clustering import Clustering
 from .cycles import Cycle, CycleCluster, cluster_cycles
+
+
+def _bug_to_obj(bug: KnownBug) -> Dict[str, Any]:
+    from ..serialize import fault_to_obj
+
+    return {
+        "bug_id": bug.bug_id,
+        "description": bug.description,
+        "signature": bug.signature,
+        "core_faults": sorted(fault_to_obj(f) for f in bug.core_faults),
+        "alt_detectable": bug.alt_detectable,
+        "jira": bug.jira,
+    }
+
+
+def _bug_from_obj(obj: Dict[str, Any]) -> KnownBug:
+    from ..serialize import fault_from_obj
+
+    return KnownBug(
+        bug_id=obj["bug_id"],
+        description=obj["description"],
+        signature=obj["signature"],
+        core_faults=frozenset(fault_from_obj(f) for f in obj["core_faults"]),
+        alt_detectable=obj["alt_detectable"],
+        jira=obj["jira"],
+    )
+
+
+def _cluster_sig_to_obj(sig: Tuple) -> List[List[Any]]:
+    return [list(entry) for entry in sig]
+
+
+def _cluster_sig_from_obj(obj: List[List[Any]]) -> Tuple:
+    return tuple(tuple(entry) for entry in obj)
 
 
 @dataclass
@@ -74,6 +108,67 @@ class DetectionReport:
             "bugs_detected": len(self.detected_bugs),
             "bugs_total": len(self.bug_matches),
         }
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable dump (``--json`` / ``--out`` / session files);
+        :meth:`from_dict` reconstructs an equivalent report."""
+        from ..serialize import cycle_to_obj
+
+        return {
+            "system": self.system,
+            "n_faults": self.n_faults,
+            "n_tests": self.n_tests,
+            "budget_used": self.budget_used,
+            "runs_executed": self.runs_executed,
+            "n_edges": self.n_edges,
+            "summary": self.summary(),
+            "cycles": [cycle_to_obj(c) for c in self.cycles],
+            "cycle_clusters": [
+                {
+                    "signature": _cluster_sig_to_obj(cluster.signature),
+                    "cycles": [cycle_to_obj(c) for c in cluster.cycles],
+                }
+                for cluster in self.cycle_clusters
+            ],
+            "bug_matches": [
+                {
+                    "bug": _bug_to_obj(match.bug),
+                    "detected": match.detected,
+                    "cycles": [cycle_to_obj(c) for c in match.cycles],
+                }
+                for match in self.bug_matches
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "DetectionReport":
+        from ..serialize import cycle_from_obj
+
+        return cls(
+            system=obj["system"],
+            n_faults=obj["n_faults"],
+            n_tests=obj["n_tests"],
+            budget_used=obj["budget_used"],
+            runs_executed=obj["runs_executed"],
+            n_edges=obj["n_edges"],
+            cycles=[cycle_from_obj(c) for c in obj["cycles"]],
+            cycle_clusters=[
+                CycleCluster(
+                    signature=_cluster_sig_from_obj(cluster["signature"]),
+                    cycles=[cycle_from_obj(c) for c in cluster["cycles"]],
+                )
+                for cluster in obj["cycle_clusters"]
+            ],
+            bug_matches=[
+                BugMatch(
+                    bug=_bug_from_obj(match["bug"]),
+                    cycles=[cycle_from_obj(c) for c in match["cycles"]],
+                )
+                for match in obj["bug_matches"]
+            ],
+        )
 
 
 def match_bugs(spec: SystemSpec, cycles: Sequence[Cycle]) -> List[BugMatch]:

@@ -26,6 +26,26 @@ class UnknownSite(ReproError):
     """A site id was used that is not present in the site registry."""
 
 
+class PipelineError(ReproError):
+    """Base class for errors of the staged pipeline API."""
+
+
+class StageDependencyError(PipelineError):
+    """A pipeline's stage list cannot satisfy some stage's ``requires``."""
+
+
+class MissingArtifact(PipelineError):
+    """A stage asked the context for an artifact no stage has produced."""
+
+
+class SessionError(PipelineError):
+    """A session directory is unusable (absent, corrupt, or half-written)."""
+
+
+class SessionMismatch(SessionError):
+    """A session was created under a different system or configuration."""
+
+
 class SimFault(Exception):
     """Base class for fault effects raised inside simulated systems."""
 

@@ -1,0 +1,82 @@
+"""Pluggable execution backends for independent pipeline work items.
+
+An :class:`Executor` maps a function over a batch of independent items and
+returns the results **in input order** — that ordering contract is what
+lets the driver and the 3PA allocator commit parallel results
+deterministically.  Two backends ship by default:
+
+* :class:`SerialExecutor` — plain in-order loop (the reference semantics);
+* :class:`ThreadPoolExecutor`-backed :class:`ParallelExecutor` — fans items
+  out over worker threads.  Workload runs build their own ``SimEnv`` and
+  ``Runtime`` per run and share no mutable state, so they are thread-safe;
+  on free-threaded CPython builds this scales with cores, on GIL builds it
+  still overlaps the numpy/scipy portions of FCA and clustering.
+
+A process-based backend would slot in behind the same two-method surface;
+it is not shipped because workload ``setup`` callables are closures and
+not generally picklable.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Iterable, List, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Executor:
+    """Strategy interface: ordered map over independent work items."""
+
+    #: Degree of parallelism; callers may skip fan-out entirely when 1.
+    max_workers: int = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (no-op by default)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """In-order, single-threaded execution (the reference backend)."""
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ParallelExecutor(Executor):
+    """``concurrent.futures`` thread-pool execution, results in input order.
+
+    The pool is scoped to each :meth:`map` call — campaigns issue a handful
+    of large batches (profile fan-out, one flush per 3PA phase), so per-call
+    pool setup is noise, and nothing leaks threads when callers (the CLI,
+    the ``CSnake`` facade, benchmarks) drop the executor without closing it.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-exp"
+        ) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            # Collect in submission order; re-raises the first worker error.
+            return [f.result() for f in futures]
+
+
+def make_executor(workers: int) -> Executor:
+    """Serial backend for ``workers <= 1``, thread pool otherwise."""
+    if workers <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers)

@@ -1,0 +1,169 @@
+"""The CSnake Figure-3 pipeline, ported to composable stages.
+
+Stage graph (artifact names on the edges)::
+
+    analyze ──analysis──┐
+                        ├─> allocate ──allocation──> search ──beam──┐
+    profile ──profiles──┘        │                                  ├─> report
+                                 └──────────(edge DB, counters)─────┘
+
+``analyze`` and ``profile`` are independent roots; ``allocate`` consumes
+both and runs the 3PA-scheduled injection experiments (fanning them out
+over the context's executor); ``search`` stitches the discovered edge DB
+into cycles; ``report`` matches them against ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.allocation import ThreePhaseAllocator
+from ..core.beam import BeamSearch
+from ..core.report import build_report
+from ..instrument.analyzer import analyze
+from ..types import FaultKey
+from .artifacts import AllocationArtifact, ProfilesArtifact
+from .context import PipelineContext
+from .stage import Stage
+
+
+class StaticAnalysisStage(Stage):
+    """Stage 1: static analyzer selects the injectable fault space F."""
+
+    name = "analyze"
+    provides = ("analysis",)
+
+    def run(self, ctx: PipelineContext) -> None:
+        ctx.put("analysis", analyze(ctx.spec.registry))
+
+
+class ProfileStage(Stage):
+    """Stage 2: fault-free profile runs of every workload (parallel)."""
+
+    name = "profile"
+    provides = ("profiles",)
+
+    def run(self, ctx: PipelineContext) -> None:
+        ctx.driver.profile_all(ctx.executor)
+        ctx.put(
+            "profiles",
+            ProfilesArtifact(groups=ctx.driver.profiles(), runs_executed=ctx.driver.runs_executed),
+        )
+
+    def hydrate(self, ctx: PipelineContext, artifacts: Dict[str, Any]) -> None:
+        profiles: ProfilesArtifact = artifacts["profiles"]
+        ctx.driver.install_profiles(profiles.groups)
+        ctx.driver.runs_executed = profiles.runs_executed
+
+
+class AllocationStage(Stage):
+    """Stage 3: 3PA budget allocation driving the injection experiments.
+
+    The (fault, test) experiments scheduled within each 3PA phase are
+    independent, so they fan out over the context's executor — the hot
+    path of every campaign.
+    """
+
+    name = "allocate"
+    requires = ("analysis", "profiles")
+    provides = ("allocation",)
+
+    def __init__(self, faults: Optional[Sequence[FaultKey]] = None) -> None:
+        #: Optional override of the fault space (defaults to the analysis).
+        self.faults = list(faults) if faults is not None else None
+
+    def run(self, ctx: PipelineContext) -> None:
+        faults = self.faults if self.faults is not None else list(ctx.require("analysis").faults)
+        allocator = ThreePhaseAllocator(
+            ctx.driver, faults, ctx.config, executor=ctx.executor
+        )
+        outcome = allocator.run()
+        ctx.put(
+            "allocation",
+            AllocationArtifact(
+                outcome=outcome,
+                experiments_run=ctx.driver.experiments_run,
+                runs_executed=ctx.driver.runs_executed,
+            ),
+        )
+
+    def hydrate(self, ctx: PipelineContext, artifacts: Dict[str, Any]) -> None:
+        allocation: AllocationArtifact = artifacts["allocation"]
+        # Replaying each record's edges in record order rebuilds the edge DB
+        # exactly as the live run left it (insertion order, merged states).
+        for record in allocation.outcome.records:
+            if record.result is None:
+                continue
+            ctx.driver.edges.add_all(record.result.edges)
+            ctx.driver.results.append(record.result)
+        ctx.driver.experiments_run = allocation.experiments_run
+        ctx.driver.runs_executed = allocation.runs_executed
+
+
+class BeamSearchStage(Stage):
+    """Stages 4-5: stitch compatible edges, beam-search for cycles."""
+
+    name = "search"
+    requires = ("allocation",)
+    provides = ("beam",)
+
+    def run(self, ctx: PipelineContext) -> None:
+        outcome = ctx.require("allocation").outcome
+        beam = BeamSearch(ctx.config, outcome.fault_scores)
+        ctx.put("beam", beam.search(ctx.driver.edges.all_edges()))
+
+
+class ReportStage(Stage):
+    """Final stage: cycle clustering and ground-truth matching."""
+
+    name = "report"
+    requires = ("allocation", "beam")
+    #: ``analysis`` is optional: a faults-override campaign (CSnake's
+    #: ``allocate_and_inject(faults=...)``) legitimately has none.
+    uses = ("analysis",)
+    provides = ("report",)
+
+    def run(self, ctx: PipelineContext) -> None:
+        allocation = ctx.require("allocation").outcome
+        beam = ctx.require("beam")
+        analysis = ctx.get("analysis")
+        ctx.put(
+            "report",
+            build_report(
+                ctx.spec,
+                beam.cycles,
+                allocation.clustering,
+                n_faults=len(analysis.faults) if analysis else 0,
+                budget_used=allocation.budget_used,
+                runs_executed=ctx.driver.runs_executed,
+                n_edges=len(ctx.driver.edges),
+            ),
+        )
+
+
+def default_stages() -> List[Stage]:
+    """The standard five-stage CSnake pipeline, in dependency order."""
+    return [
+        StaticAnalysisStage(),
+        ProfileStage(),
+        AllocationStage(),
+        BeamSearchStage(),
+        ReportStage(),
+    ]
+
+
+#: Stage names accepted by ``--stages``, in canonical order.
+STAGE_NAMES = tuple(s.name for s in default_stages())
+
+
+def producer_of(artifact: str) -> Optional[Stage]:
+    """The default stage that provides ``artifact`` (None if not standard).
+
+    Used when resuming a *filtered* stage list: a live stage's requirement
+    may have to be loaded from the session even though its producing stage
+    is absent, and hydration logic lives on the producer.
+    """
+    for stage in default_stages():
+        if artifact in stage.provides:
+            return stage
+    return None

@@ -1,0 +1,236 @@
+"""JSON codecs for the framework's value types.
+
+One round-trippable ``*_to_obj`` / ``*_from_obj`` pair per domain type,
+shared by session persistence (``repro.pipeline.session``) and the
+machine-readable report output (``DetectionReport.to_dict``).  All
+``to_obj`` functions emit plain JSON-compatible values (dicts, lists,
+strings, numbers, bools) with deterministic ordering, so dumping the same
+artifact twice yields byte-identical files.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Optional
+
+from .core.clustering import Clustering, FaultCluster
+from .core.cycles import Cycle
+from .instrument.analyzer import AnalysisResult
+from .instrument.plan import InjectionPlan
+from .instrument.trace import FaultEvent, RunGroup, RunTrace
+from .types import CausalEdge, EdgeType, FaultKey, InjKind, LocalState, StateSet
+
+# --------------------------------------------------------------- fault keys
+
+
+def fault_to_obj(fault: FaultKey) -> str:
+    return "%s:%s" % (fault.site_id, fault.kind.value)
+
+
+def fault_from_obj(obj: str) -> FaultKey:
+    site_id, kind = obj.rsplit(":", 1)
+    return FaultKey(site_id, InjKind(kind))
+
+
+# ------------------------------------------------------------ local states
+
+
+def state_to_obj(state: LocalState) -> Dict[str, Any]:
+    return {
+        "stack": list(state.call_stack),
+        "branches": [[site, taken] for site, taken in state.branch_trace],
+    }
+
+
+def state_from_obj(obj: Dict[str, Any]) -> LocalState:
+    return LocalState(
+        call_stack=tuple(obj["stack"]),
+        branch_trace=tuple((site, bool(taken)) for site, taken in obj["branches"]),
+    )
+
+
+def states_to_obj(states: StateSet) -> List[Dict[str, Any]]:
+    ordered = sorted(states, key=lambda s: (s.call_stack, s.branch_trace))
+    return [state_to_obj(s) for s in ordered]
+
+
+def states_from_obj(obj: List[Dict[str, Any]]) -> StateSet:
+    return frozenset(state_from_obj(o) for o in obj)
+
+
+# ------------------------------------------------------------ causal edges
+
+
+def edge_to_obj(edge: CausalEdge) -> Dict[str, Any]:
+    return {
+        "src": fault_to_obj(edge.src),
+        "dst": fault_to_obj(edge.dst),
+        "etype": edge.etype.value,
+        "test_id": edge.test_id,
+        "src_states": states_to_obj(edge.src_states),
+        "dst_states": states_to_obj(edge.dst_states),
+    }
+
+
+def edge_from_obj(obj: Dict[str, Any]) -> CausalEdge:
+    return CausalEdge(
+        src=fault_from_obj(obj["src"]),
+        dst=fault_from_obj(obj["dst"]),
+        etype=EdgeType(obj["etype"]),
+        test_id=obj["test_id"],
+        src_states=states_from_obj(obj["src_states"]),
+        dst_states=states_from_obj(obj["dst_states"]),
+    )
+
+
+# --------------------------------------------------------- injection plans
+
+
+def plan_to_obj(plan: Optional[InjectionPlan]) -> Optional[Dict[str, Any]]:
+    if plan is None:
+        return None
+    return {
+        "fault": fault_to_obj(plan.fault),
+        "delay_ms": plan.delay_ms,
+        "sticky": plan.sticky,
+        "warmup_ms": plan.warmup_ms,
+    }
+
+
+def plan_from_obj(obj: Optional[Dict[str, Any]]) -> Optional[InjectionPlan]:
+    if obj is None:
+        return None
+    return InjectionPlan(
+        fault=fault_from_obj(obj["fault"]),
+        delay_ms=obj["delay_ms"],
+        sticky=obj["sticky"],
+        warmup_ms=obj["warmup_ms"],
+    )
+
+
+# ------------------------------------------------------------------ traces
+
+
+def trace_to_obj(trace: RunTrace) -> Dict[str, Any]:
+    return {
+        "test_id": trace.test_id,
+        "injection": plan_to_obj(trace.injection),
+        "seed": trace.seed,
+        "events": [
+            {
+                "fault": fault_to_obj(e.fault),
+                "time": e.time,
+                "state": state_to_obj(e.state),
+                "injected": e.injected,
+            }
+            for e in trace.events
+        ],
+        "loop_counts": {site: count for site, count in sorted(trace.loop_counts.items())},
+        "loop_states": {
+            site: states_to_obj(frozenset(states))
+            for site, states in sorted(trace.loop_states.items())
+        },
+        "reached": sorted(trace.reached),
+        "branches_recorded": trace.branches_recorded,
+        "saturated": trace.saturated,
+        "wall_time_s": trace.wall_time_s,
+        "virtual_end_ms": trace.virtual_end_ms,
+    }
+
+
+def trace_from_obj(obj: Dict[str, Any]) -> RunTrace:
+    trace = RunTrace(
+        test_id=obj["test_id"],
+        injection=plan_from_obj(obj["injection"]),
+        seed=obj["seed"],
+    )
+    trace.events = [
+        FaultEvent(
+            fault=fault_from_obj(e["fault"]),
+            time=e["time"],
+            state=state_from_obj(e["state"]),
+            injected=e["injected"],
+        )
+        for e in obj["events"]
+    ]
+    trace.loop_counts = Counter({site: count for site, count in obj["loop_counts"].items()})
+    trace.loop_states = {
+        site: set(states_from_obj(states)) for site, states in obj["loop_states"].items()
+    }
+    trace.reached = set(obj["reached"])
+    trace.branches_recorded = obj["branches_recorded"]
+    trace.saturated = obj["saturated"]
+    trace.wall_time_s = obj["wall_time_s"]
+    trace.virtual_end_ms = obj["virtual_end_ms"]
+    return trace
+
+
+def group_to_obj(group: RunGroup) -> Dict[str, Any]:
+    return {
+        "test_id": group.test_id,
+        "injection": plan_to_obj(group.injection),
+        "runs": [trace_to_obj(t) for t in group.runs],
+    }
+
+
+def group_from_obj(obj: Dict[str, Any]) -> RunGroup:
+    group = RunGroup(test_id=obj["test_id"], injection=plan_from_obj(obj["injection"]))
+    for run in obj["runs"]:
+        group.add(trace_from_obj(run))
+    return group
+
+
+# ---------------------------------------------------------- analysis result
+
+
+def analysis_to_obj(analysis: AnalysisResult) -> Dict[str, Any]:
+    return {
+        "system": analysis.system,
+        "faults": [fault_to_obj(f) for f in analysis.faults],
+        "excluded": dict(sorted(analysis.excluded.items())),
+        "counts": dict(sorted(analysis.counts.items())),
+    }
+
+
+def analysis_from_obj(obj: Dict[str, Any]) -> AnalysisResult:
+    return AnalysisResult(
+        system=obj["system"],
+        faults=[fault_from_obj(f) for f in obj["faults"]],
+        excluded=dict(obj["excluded"]),
+        counts=dict(obj["counts"]),
+    )
+
+
+# ------------------------------------------------------------------ cycles
+
+
+def cycle_to_obj(cycle: Cycle) -> Dict[str, Any]:
+    return {"edges": [edge_to_obj(e) for e in cycle.edges]}
+
+
+def cycle_from_obj(obj: Dict[str, Any]) -> Cycle:
+    return Cycle(tuple(edge_from_obj(e) for e in obj["edges"]))
+
+
+# -------------------------------------------------------- fault clustering
+
+
+def clustering_to_obj(clustering: Optional[Clustering]) -> Optional[Dict[str, Any]]:
+    if clustering is None:
+        return None
+    return {
+        "clusters": [
+            {"cluster_id": c.cluster_id, "faults": [fault_to_obj(f) for f in c.faults]}
+            for c in clustering.clusters
+        ]
+    }
+
+
+def clustering_from_obj(obj: Optional[Dict[str, Any]]) -> Optional[Clustering]:
+    if obj is None:
+        return None
+    clusters = [
+        FaultCluster(c["cluster_id"], [fault_from_obj(f) for f in c["faults"]])
+        for c in obj["clusters"]
+    ]
+    return Clustering(clusters=clusters)

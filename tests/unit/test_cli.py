@@ -1,8 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import _parse_fault, main
+from repro.cli import _config, _parse_delays, _parse_fault, _parse_stages, main
+from repro.config import DELAY_VALUES_MS
 from repro.types import FaultKey, InjKind
 
 
@@ -18,10 +21,52 @@ def test_parse_fault_rejects_garbage():
         _parse_fault("site:banana")
 
 
+def test_parse_delays():
+    assert _parse_delays("250,1000,8000") == (250.0, 1000.0, 8000.0)
+    assert _parse_delays("500.5") == (500.5,)
+    with pytest.raises(SystemExit):
+        _parse_delays("fast,slow")
+    with pytest.raises(SystemExit):
+        _parse_delays(",")
+
+
+def test_parse_stages():
+    assert _parse_stages("analyze,profile") == ["analyze", "profile"]
+    with pytest.raises(SystemExit):
+        _parse_stages("analyze,banana")
+
+
+def test_config_defaults_to_paper_delay_sweep():
+    """The CLI must not silently shadow CSnakeConfig defaults."""
+    import argparse
+
+    args = argparse.Namespace(budget=None, seed=None, repeats=None, delays=None, parallel=None)
+    assert _config(args).delay_values_ms == DELAY_VALUES_MS
+
+
+def test_config_applies_flags():
+    import argparse
+
+    args = argparse.Namespace(budget=3, seed=11, repeats=4, delays="250,8000", parallel=2)
+    cfg = _config(args)
+    assert cfg.budget_per_fault == 3
+    assert cfg.seed == 11
+    assert cfg.repeats == 4
+    assert cfg.delay_values_ms == (250.0, 8000.0)
+    assert cfg.experiment_workers == 2
+
+
 def test_list_command(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "toy" in out and "minihdfs2" in out
+
+
+def test_list_rejects_experiment_flags():
+    with pytest.raises(SystemExit):
+        main(["list", "--budget", "3"])
+    with pytest.raises(SystemExit):
+        main(["list", "--seed", "1"])
 
 
 def test_inject_command(capsys):
@@ -35,7 +80,76 @@ def test_inject_command(capsys):
 
 
 def test_run_command_on_toy(capsys):
-    rc = main(["run", "toy", "--repeats", "2", "--seed", "7", "--budget", "2"])
+    rc = main([
+        "run", "toy", "--repeats", "2", "--seed", "7", "--budget", "2",
+        "--delays", "2000",
+    ])
     out = capsys.readouterr().out
     assert "system: toy" in out
     assert rc in (0, 1)
+
+
+def test_run_command_json_output(capsys):
+    rc = main([
+        "run", "toy", "--repeats", "2", "--seed", "7", "--budget", "2",
+        "--delays", "2000", "--json",
+    ])
+    obj = json.loads(capsys.readouterr().out)
+    assert obj["system"] == "toy"
+    assert "summary" in obj and "bug_matches" in obj
+    assert rc in (0, 1)
+
+
+def test_run_command_out_file(tmp_path, capsys):
+    out_file = tmp_path / "report.json"
+    main([
+        "run", "toy", "--repeats", "2", "--seed", "7", "--budget", "2",
+        "--delays", "2000", "--out", str(out_file),
+    ])
+    capsys.readouterr()
+    obj = json.loads(out_file.read_text())
+    assert obj["system"] == "toy"
+
+
+def test_run_partial_stages_reject_json_and_out(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["run", "toy", "--stages", "analyze", "--json"])
+    with pytest.raises(SystemExit):
+        main(["run", "toy", "--stages", "analyze", "--out", str(tmp_path / "r.json")])
+
+
+def test_run_partial_stages(capsys):
+    rc = main([
+        "run", "toy", "--repeats", "2", "--delays", "2000",
+        "--stages", "analyze,profile",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "analysis" in out and "profiles" in out
+
+
+def test_run_session_then_resume(tmp_path, capsys):
+    sdir = tmp_path / "sess"
+    args = ["--repeats", "2", "--seed", "7", "--budget", "2", "--delays", "2000"]
+    rc_run = main(["run", "toy", "--session-dir", str(sdir)] + args)
+    first = capsys.readouterr().out
+    rc_resume = main(["resume", str(sdir)])
+    second = capsys.readouterr().out
+    assert rc_resume == rc_run
+    assert first == second  # fully persisted session replays the same report
+
+
+def test_resume_without_session_errors(tmp_path, capsys):
+    rc = main(["resume", str(tmp_path / "missing")])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_run_parallel_matches_serial(tmp_path, capsys):
+    args = ["run", "toy", "--repeats", "2", "--seed", "7", "--budget", "2",
+            "--delays", "2000", "--json"]
+    main(args)
+    serial = json.loads(capsys.readouterr().out)
+    main(args + ["--parallel", "3"])
+    parallel = json.loads(capsys.readouterr().out)
+    assert serial == parallel

@@ -1,0 +1,76 @@
+"""Serial vs parallel campaigns must be bit-identical.
+
+The parallel executor only changes *where* experiments execute, never
+which experiments run or in which order their results commit — so the
+edge DB (including merged local-state sets), every counter, and the final
+report must match exactly.
+"""
+
+import pytest
+
+from repro.config import CSnakeConfig
+from repro.pipeline import Pipeline
+from repro.systems import get_system
+
+FAST = dict(repeats=2, delay_values_ms=(500.0, 8000.0), seed=7, budget_per_fault=2)
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    def run(workers):
+        cfg = CSnakeConfig(experiment_workers=workers, **FAST)
+        return Pipeline.default(get_system("toy"), cfg).run()
+
+    return run(1), run(3)
+
+
+def _edge_view(ctx):
+    return [
+        (e.key(), e.src_states, e.dst_states) for e in ctx.driver.edges.all_edges()
+    ]
+
+
+def test_edge_db_identical(campaigns):
+    serial, parallel = campaigns
+    assert _edge_view(serial) == _edge_view(parallel)
+    assert len(serial.driver.edges) > 0
+
+
+def test_counters_identical(campaigns):
+    serial, parallel = campaigns
+    assert serial.driver.runs_executed == parallel.driver.runs_executed
+    assert serial.driver.experiments_run == parallel.driver.experiments_run
+
+
+def test_allocation_schedule_identical(campaigns):
+    serial, parallel = campaigns
+    a = serial.get("allocation").outcome
+    b = parallel.get("allocation").outcome
+    assert [(r.phase, r.fault, r.test_id) for r in a.records] == [
+        (r.phase, r.fault, r.test_id) for r in b.records
+    ]
+    assert a.cluster_scores == b.cluster_scores
+    assert a.fault_scores == b.fault_scores
+
+
+def test_report_identical(campaigns):
+    serial, parallel = campaigns
+    assert serial.get("report").to_dict() == parallel.get("report").to_dict()
+
+
+def test_parallel_profile_cache_identical():
+    from repro.core.driver import ExperimentDriver
+    from repro.pipeline import ParallelExecutor
+
+    spec = get_system("toy")
+    cfg = CSnakeConfig(**FAST)
+    serial = ExperimentDriver(spec, cfg)
+    serial.profile_all()
+    parallel = ExperimentDriver(spec, cfg)
+    with ParallelExecutor(4) as pool:
+        parallel.profile_all(pool)
+    assert serial.runs_executed == parallel.runs_executed
+    for test_id, group in serial.profiles().items():
+        other = parallel.profiles()[test_id]
+        assert group.reached() == other.reached()
+        assert [r.loop_counts for r in group.runs] == [r.loop_counts for r in other.runs]

@@ -1,0 +1,250 @@
+"""Unit tests for the pipeline framework: stage DAG validation, context,
+executors, events, and session round-trips."""
+
+import pytest
+
+from repro.config import CSnakeConfig
+from repro.errors import MissingArtifact, SessionMismatch, StageDependencyError
+from repro.pipeline import (
+    EventRecorder,
+    ParallelExecutor,
+    Pipeline,
+    PipelineContext,
+    SerialExecutor,
+    Session,
+    Stage,
+    default_stages,
+    make_executor,
+)
+from repro.pipeline.events import (
+    STAGE_CACHED,
+    STAGE_FINISHED,
+    STAGE_RESUMED,
+    STAGE_STARTED,
+)
+from repro.systems import get_system
+
+FAST = dict(repeats=2, delay_values_ms=(2000.0,), seed=7, budget_per_fault=1)
+
+
+def fast_config(**overrides):
+    params = dict(FAST)
+    params.update(overrides)
+    return CSnakeConfig(**params)
+
+
+class _Produce(Stage):
+    def __init__(self, name, requires=(), provides=()):
+        self.name = name
+        self.requires = tuple(requires)
+        self.provides = tuple(provides)
+
+    def run(self, ctx):
+        for name in self.requires:
+            ctx.require(name)
+        for name in self.provides:
+            ctx.put(name, "value-of-%s" % name)
+
+
+# ---------------------------------------------------------------- validation
+
+
+def test_default_stage_graph_is_valid():
+    Pipeline(get_system("toy"), fast_config())  # validates in __init__
+
+
+def test_unsatisfied_requires_rejected_before_running():
+    stages = [_Produce("b", requires=("alpha",), provides=("beta",))]
+    with pytest.raises(StageDependencyError, match="alpha"):
+        Pipeline(get_system("toy"), fast_config(), stages=stages)
+
+
+def test_order_matters_for_requires():
+    bad = [
+        _Produce("late", requires=("early-out",), provides=("late-out",)),
+        _Produce("early", provides=("early-out",)),
+    ]
+    with pytest.raises(StageDependencyError):
+        Pipeline(get_system("toy"), fast_config(), stages=bad)
+    good = list(reversed(bad))
+    ctx = Pipeline(get_system("toy"), fast_config(), stages=good).run()
+    assert ctx.get("late-out") == "value-of-late-out"
+
+
+def test_duplicate_stage_names_rejected():
+    stages = [_Produce("x", provides=("a",)), _Produce("x", provides=("b",))]
+    with pytest.raises(StageDependencyError, match="duplicate"):
+        Pipeline(get_system("toy"), fast_config(), stages=stages)
+
+
+def test_stage_must_provide_what_it_promises():
+    class Liar(Stage):
+        name = "liar"
+        provides = ("thing",)
+
+        def run(self, ctx):
+            pass
+
+    with pytest.raises(StageDependencyError, match="without providing"):
+        Pipeline(get_system("toy"), fast_config(), stages=[Liar()]).run()
+
+
+def test_partial_stage_prefix_runs():
+    stages = [s for s in default_stages() if s.name in ("analyze", "profile")]
+    ctx = Pipeline(get_system("toy"), fast_config(), stages=stages).run()
+    assert ctx.has("analysis") and ctx.has("profiles")
+    assert not ctx.has("report")
+
+
+def test_beam_stage_alone_is_rejected():
+    stages = [s for s in default_stages() if s.name == "search"]
+    with pytest.raises(StageDependencyError, match="allocation"):
+        Pipeline(get_system("toy"), fast_config(), stages=stages)
+
+
+# ------------------------------------------------------------------- context
+
+
+def test_context_require_raises_missing_artifact():
+    ctx = PipelineContext(get_system("toy"), fast_config())
+    with pytest.raises(MissingArtifact, match="analysis"):
+        ctx.require("analysis")
+    ctx.put("analysis", object())
+    assert ctx.has("analysis")
+
+
+# ----------------------------------------------------------------- executors
+
+
+def test_make_executor_picks_backend():
+    assert isinstance(make_executor(1), SerialExecutor)
+    parallel = make_executor(3)
+    assert isinstance(parallel, ParallelExecutor)
+    parallel.close()
+
+
+def test_executors_preserve_input_order():
+    items = list(range(20))
+    fn = lambda x: x * x  # noqa: E731
+    serial = SerialExecutor().map(fn, items)
+    with ParallelExecutor(4) as pool:
+        threaded = pool.map(fn, items)
+    assert serial == threaded == [x * x for x in items]
+
+
+def test_parallel_executor_propagates_worker_errors():
+    def boom(x):
+        raise ValueError("worker %d" % x)
+
+    with ParallelExecutor(2) as pool:
+        with pytest.raises(ValueError):
+            pool.map(boom, [1, 2, 3])
+
+
+# -------------------------------------------------------------------- events
+
+
+def test_stage_events_emitted_in_order():
+    recorder = EventRecorder()
+    stages = [_Produce("one", provides=("a",)), _Produce("two", requires=("a",), provides=("b",))]
+    Pipeline(get_system("toy"), fast_config(), stages=stages, observers=[recorder]).run()
+    assert recorder.kinds("one") == [STAGE_STARTED, STAGE_FINISHED]
+    assert recorder.kinds("two") == [STAGE_STARTED, STAGE_FINISHED]
+
+
+def test_already_computed_artifacts_skip_the_stage():
+    recorder = EventRecorder()
+    ctx = PipelineContext(get_system("toy"), fast_config())
+    ctx.put("a", "precomputed")
+    stages = [_Produce("one", provides=("a",))]
+    Pipeline(get_system("toy"), fast_config(), stages=stages, observers=[recorder], ctx=ctx).run()
+    assert recorder.kinds("one") == [STAGE_CACHED]
+    assert ctx.get("a") == "precomputed"
+
+
+# ------------------------------------------------------------------ sessions
+
+
+def test_session_persists_and_resumes_stages(tmp_path):
+    cfg = fast_config()
+    session = Session.attach(tmp_path, "toy", cfg)
+    stages = [s for s in default_stages() if s.name in ("analyze", "profile")]
+    Pipeline(get_system("toy"), cfg, stages=stages, session=session).run()
+    assert sorted(Session.open(tmp_path).completed) == ["analysis", "profiles"]
+
+    recorder = EventRecorder()
+    session2 = Session.open(tmp_path)
+    ctx = Pipeline(
+        get_system("toy"), session2.config, session=session2, observers=[recorder]
+    ).run()
+    assert recorder.kinds("analyze") == [STAGE_RESUMED]
+    assert recorder.kinds("profile") == [STAGE_RESUMED]
+    assert recorder.kinds("allocate") == [STAGE_STARTED, STAGE_FINISHED]
+    assert ctx.get("report") is not None
+
+
+def test_session_rejects_mismatched_config(tmp_path):
+    Session.attach(tmp_path, "toy", fast_config())
+    with pytest.raises(SessionMismatch, match="seed"):
+        Session.attach(tmp_path, "toy", fast_config(seed=99))
+    with pytest.raises(SessionMismatch, match="system"):
+        Session.attach(tmp_path, "minihdfs2", fast_config())
+
+
+def test_session_allows_worker_count_changes(tmp_path):
+    Session.attach(tmp_path, "toy", fast_config())
+    Session.attach(tmp_path, "toy", fast_config(experiment_workers=8))
+
+
+def test_filtered_stage_list_continues_a_session(tmp_path):
+    """`--stages allocate` must load analyze/profile artifacts persisted by
+    an earlier `--stages analyze,profile` run of the same session."""
+    cfg = fast_config()
+    session = Session.attach(tmp_path, "toy", cfg)
+    first = [s for s in default_stages() if s.name in ("analyze", "profile")]
+    Pipeline(get_system("toy"), cfg, stages=first, session=session).run()
+
+    session2 = Session.open(tmp_path)
+    second = [s for s in default_stages() if s.name == "allocate"]
+    ctx = Pipeline(get_system("toy"), session2.config, stages=second, session=session2).run()
+    outcome = ctx.get("allocation").outcome
+    assert outcome.budget_used > 0
+    assert ctx.driver.runs_executed > 0  # profile artifacts were hydrated
+
+    # ... and the remaining stages can continue from the same session.
+    session3 = Session.open(tmp_path)
+    tail = [s for s in default_stages() if s.name in ("search", "report")]
+    ctx2 = Pipeline(get_system("toy"), session3.config, stages=tail, session=session3).run()
+    report = ctx2.get("report")
+    assert report is not None
+    assert report.n_edges == len(ctx.driver.edges)
+
+
+def test_pipeline_reconciles_executor_with_supplied_ctx():
+    """An explicit executor must be the one stages actually run on."""
+    ctx = PipelineContext(get_system("toy"), fast_config())
+    with ParallelExecutor(2) as pool:
+        pipeline = Pipeline(get_system("toy"), fast_config(), executor=pool, ctx=ctx)
+        assert pipeline.executor is pool
+        assert ctx.executor is pool
+    # Without an explicit executor, the ctx's executor wins.
+    ctx2 = PipelineContext(get_system("toy"), fast_config())
+    pipeline2 = Pipeline(get_system("toy"), fast_config(experiment_workers=4), ctx=ctx2)
+    assert pipeline2.executor is ctx2.executor
+
+
+def test_config_rejects_bad_delay_values():
+    from repro.errors import ConfigError
+
+    for bad in ((float("nan"),), (-100.0,), (0.0,), (250.0, float("inf"))):
+        with pytest.raises(ConfigError):
+            fast_config(delay_values_ms=bad)
+
+
+def test_parallel_executor_leaves_no_worker_threads():
+    import threading
+
+    before = threading.active_count()
+    pool = ParallelExecutor(4)
+    assert pool.map(lambda x: x + 1, list(range(8))) == list(range(1, 9))
+    assert threading.active_count() == before
