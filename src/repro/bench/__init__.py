@@ -1,5 +1,11 @@
 """Shared evaluation harness used by the benchmark suite and EXPERIMENTS.md."""
 
+from .campaign import (
+    bench_campaign,
+    check_regression,
+    measure_agent_overhead,
+    write_bench_json,
+)
 from .runners import (
     CampaignResult,
     bench_config,
@@ -13,6 +19,10 @@ from .tables import format_table
 __all__ = [
     "CampaignResult",
     "bench_config",
+    "bench_campaign",
+    "check_regression",
+    "measure_agent_overhead",
+    "write_bench_json",
     "run_campaign",
     "run_random_campaign",
     "table3_rows",

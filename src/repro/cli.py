@@ -4,10 +4,11 @@ Examples::
 
     python -m repro.cli list
     python -m repro.cli run toy
-    python -m repro.cli run toy --parallel 4 --session-dir /tmp/s --out report.json
+    python -m repro.cli run toy --backend process --workers 4 --out report.json
     python -m repro.cli run minihdfs2 --budget 10 --seed 7 --stages analyze,profile
-    python -m repro.cli resume /tmp/s
+    python -m repro.cli resume /tmp/s --backend thread --workers 2
     python -m repro.cli inject minihbase hm.assign.rpc:exception hbase.rs_fault_tolerance
+    python -m repro.cli bench --smoke --out BENCH_campaign.json
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -23,12 +25,12 @@ from .core.driver import ExperimentDriver
 from .core.report import DetectionReport
 from .errors import ReproError
 from .pipeline import (
+    BACKENDS,
     STAGE_NAMES,
     Pipeline,
     ProgressPrinter,
     Session,
     default_stages,
-    make_executor,
 )
 from .systems import available_systems, get_system
 from .types import FaultKey, InjKind
@@ -77,8 +79,18 @@ def _config(args: argparse.Namespace) -> CSnakeConfig:
         params["repeats"] = args.repeats
     if getattr(args, "delays", None) is not None:
         params["delay_values_ms"] = _parse_delays(args.delays)
-    if getattr(args, "parallel", None) is not None:
-        params["experiment_workers"] = args.parallel
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        workers = getattr(args, "parallel", None)  # legacy alias
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        params["experiment_backend"] = backend
+        if workers is None and backend != "serial":
+            # A parallel backend without an explicit worker count means
+            # "use the machine": one worker per core.
+            workers = os.cpu_count() or 1
+    if workers is not None:
+        params["experiment_workers"] = workers
     return CSnakeConfig(**params)
 
 
@@ -115,11 +127,12 @@ def _run_pipeline(
     if stage_names is not None:
         stages = [s for s in stages if s.name in stage_names]
     observers = [ProgressPrinter()] if args.verbose else []
+    # The pipeline builds its executor from config (and closes it when the
+    # run finishes — process pools must not outlive the campaign).
     pipeline = Pipeline(
         spec,
         config,
         stages=stages,
-        executor=make_executor(config.experiment_workers),
         observers=observers,
         session=session,
     )
@@ -162,8 +175,18 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_resume(args: argparse.Namespace) -> int:
     session = Session.open(args.session_dir)
     config = session.config
-    if args.parallel is not None:
-        config = dataclasses.replace(config, experiment_workers=args.parallel)
+    overrides = {}
+    workers = args.workers if args.workers is not None else args.parallel
+    if workers is not None:
+        overrides["experiment_workers"] = workers
+    if args.backend is not None:
+        overrides["experiment_backend"] = args.backend
+        if workers is None and args.backend != "serial":
+            overrides["experiment_workers"] = os.cpu_count() or 1
+    if overrides:
+        # Backend/worker overrides never change results, only where the
+        # remaining experiments execute.
+        config = dataclasses.replace(config, **overrides)
     return _run_pipeline(session.system, config, args, session, None)
 
 
@@ -178,6 +201,73 @@ def cmd_inject(args: argparse.Namespace) -> int:
     for interference in result.interference:
         print("  -> %s" % interference)
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import bench_campaign, check_regression, write_bench_json
+
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    unknown = [b for b in backends if b not in BACKENDS]
+    if unknown:
+        raise SystemExit(
+            "unknown backend(s) %s; choose from %s"
+            % (", ".join(unknown), ", ".join(BACKENDS))
+        )
+    result = bench_campaign(
+        system=args.system,
+        workers=args.workers,
+        backends=backends,
+        smoke=args.smoke,
+        overhead=not args.no_overhead,
+    )
+    write_bench_json(result, args.out)
+    for backend in backends:
+        entry = result["backends"][backend]
+        print(
+            "%-8s %7.3fs  %5.2fx vs serial  %s"
+            % (
+                backend,
+                entry["wall_s"],
+                entry["speedup_vs_serial"],
+                "identical" if entry["identical_to_serial"] else "DIVERGED",
+            )
+        )
+    for system, entry in sorted(result.get("agent_overhead", {}).items()):
+        print(
+            "agent overhead %-10s %.1f%% (seed: %s%%)"
+            % (system, entry["overhead_pct"], entry.get("seed_overhead_pct", "?"))
+        )
+    print("wrote %s" % args.out)
+    if any(not result["backends"][b]["identical_to_serial"] for b in backends):
+        print("error: parallel backend diverged from serial", file=sys.stderr)
+        return 1
+    if args.check:
+        failures = check_regression(result, args.check, args.max_regression)
+        for failure in failures:
+            print("regression: %s" % failure, file=sys.stderr)
+        if failures:
+            return 1
+        print("no regression vs %s" % args.check)
+    return 0
+
+
+def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
+    """Executor-backend selection shared by experiment subcommands."""
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="experiment executor: serial, thread, or process "
+        "(results are bit-identical across backends)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker count for thread/process backends (default: all cores)",
+    )
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help=argparse.SUPPRESS,  # legacy alias of --workers (thread backend)
+    )
 
 
 def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
@@ -213,10 +303,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="NAME,NAME,...",
         help="run only these stages (of: %s)" % ", ".join(STAGE_NAMES),
     )
-    run.add_argument(
-        "--parallel", type=int, default=None, metavar="N",
-        help="fan experiments out over N workers (default 1)",
-    )
+    _add_backend_flags(run)
     run.add_argument(
         "--session-dir", default=None, metavar="DIR",
         help="persist per-stage artifacts under DIR (resumable)",
@@ -226,10 +313,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     resume = sub.add_parser("resume", help="resume an interrupted --session-dir run")
     resume.add_argument("session_dir", metavar="DIR")
-    resume.add_argument(
-        "--parallel", type=int, default=None, metavar="N",
-        help="override the session's worker count (results are unaffected)",
-    )
+    _add_backend_flags(resume)
     _add_output_flags(resume)
 
     inject = sub.add_parser("inject", help="run one fault injection experiment")
@@ -238,12 +322,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     inject.add_argument("test", help="workload/test id")
     _add_experiment_flags(inject)
 
+    bench = sub.add_parser(
+        "bench", help="benchmark a campaign across executor backends"
+    )
+    bench.add_argument(
+        "--system", choices=available_systems(), default="minihdfs2",
+        help="target system (ignored with --smoke, which uses toy)",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="reduced toy-system benchmark for CI (seconds, not minutes)",
+    )
+    bench.add_argument(
+        "--backends", default="serial,thread,process", metavar="B,B,...",
+        help="comma-separated executor backends to time (default: all)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker count for parallel backends (default: all cores)",
+    )
+    bench.add_argument(
+        "--no-overhead", action="store_true",
+        help="skip the instrumentation-overhead measurement",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_campaign.json", metavar="FILE",
+        help="where to write the benchmark JSON (default: BENCH_campaign.json)",
+    )
+    bench.add_argument(
+        "--check", default=None, metavar="FILE",
+        help="fail if serial wall time regresses vs this baseline JSON",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=2.0, metavar="X",
+        help="allowed serial slowdown factor for --check (default 2.0)",
+    )
+
     args = parser.parse_args(argv)
     handler = {
         "list": cmd_list,
         "run": cmd_run,
         "resume": cmd_resume,
         "inject": cmd_inject,
+        "bench": cmd_bench,
     }[args.command]
     try:
         return handler(args)

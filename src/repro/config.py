@@ -78,11 +78,16 @@ class CSnakeConfig:
     compat_check: bool = True
     #: Number of worker threads for the parallel beam search (1 = serial).
     beam_workers: int = 1
-    #: Number of worker threads for profile and injection experiments
+    #: Number of workers for profile and injection experiments
     #: (1 = serial).  Parallel campaigns are bit-identical to serial ones:
     #: experiment *scheduling* is decided before execution and results are
     #: committed in schedule order.
     experiment_workers: int = 1
+    #: Executor backend for experiment fan-out: ``"thread"`` (default,
+    #: shared-memory workers), ``"process"`` (true multicore via picklable
+    #: task descriptors), or ``"serial"`` (force the reference backend
+    #: regardless of ``experiment_workers``).
+    experiment_backend: str = "thread"
 
     def __post_init__(self) -> None:
         if self.repeats < 2:
@@ -101,6 +106,11 @@ class CSnakeConfig:
             raise ConfigError("cycles need at least 2 edges")
         if self.beam_workers < 1 or self.experiment_workers < 1:
             raise ConfigError("worker counts must be at least 1")
+        if self.experiment_backend not in ("serial", "thread", "process"):
+            raise ConfigError(
+                "experiment_backend must be serial, thread, or process, got %r"
+                % (self.experiment_backend,)
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible dump, inverse of :meth:`from_dict`."""

@@ -56,6 +56,7 @@ class BeamSearch:
         #: (maximally unconditional, hence ranked last).
         self.sim_scores = sim_scores or {}
         self.compat = CompatChecker(enabled=self.config.compat_check)
+        self._pool: Optional[ThreadPoolExecutor] = None
 
     # -------------------------------------------------------------- scoring
 
@@ -76,6 +77,21 @@ class BeamSearch:
     # --------------------------------------------------------------- search
 
     def search(self, edges: Sequence[CausalEdge]) -> BeamSearchResult:
+        # One worker pool for the whole search: levels reuse it instead of
+        # paying pool construction/teardown at every beam level.
+        self._pool = (
+            ThreadPoolExecutor(max_workers=self.config.beam_workers)
+            if self.config.beam_workers > 1
+            else None
+        )
+        try:
+            return self._search(edges)
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def _search(self, edges: Sequence[CausalEdge]) -> BeamSearchResult:
         result = BeamSearchResult(compat=self.compat)
         edge_list = list(edges)
         # Index edges by source fault: a chain ending in fault f can only be
@@ -125,11 +141,10 @@ class BeamSearch:
         seen_cycles: Dict[Tuple, Cycle],
         result: BeamSearchResult,
     ) -> List[_Chain]:
-        if self.config.beam_workers > 1 and len(queue) > 64:
+        if self._pool is not None and len(queue) > 64:
             chunk = (len(queue) + self.config.beam_workers - 1) // self.config.beam_workers
             parts = [queue[i : i + chunk] for i in range(0, len(queue), chunk)]
-            with ThreadPoolExecutor(max_workers=self.config.beam_workers) as pool:
-                outs = list(pool.map(lambda p: self._extend_chains(p, edge_list), parts))
+            outs = list(self._pool.map(lambda p: self._extend_chains(p, edge_list), parts))
             extensions: List[_Chain] = []
             closed: List[Tuple[CausalEdge, ...]] = []
             for ext, cyc in outs:

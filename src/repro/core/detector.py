@@ -43,7 +43,9 @@ class CSnake:
 
     def __post_init__(self) -> None:
         self.ctx = PipelineContext(
-            self.spec, self.config, make_executor(self.config.experiment_workers)
+            self.spec,
+            self.config,
+            make_executor(self.config.experiment_workers, self.config.experiment_backend),
         )
 
     # ----------------------------------------------------- legacy accessors

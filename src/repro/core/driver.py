@@ -14,21 +14,32 @@ workload repetitions and FCA — no driver state touched) and an ordered
 the execute steps out over a :class:`~repro.pipeline.executor.Executor`
 and commits in submission order, so a parallel campaign produces the
 exact same ``EdgeDB`` contents and counters as a serial one.
+
+Process-backed executors cannot ship the driver's closures across the
+process boundary, so work crosses it as a picklable
+:class:`ExperimentTask` *descriptor* — system **name**, test id, fault,
+injection-plan payload, and a config snapshot.  The worker resolves the
+name through the systems registry and keeps a per-process driver cache
+(:func:`execute_experiment_task`), so each worker builds its system spec
+once and recomputes each test's profile group at most once.  Profile and
+injection runs are pure functions of (spec, config, seeds), which is what
+makes the worker-side recomputation bit-identical to the parent's.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..pipeline.executor import Executor
 
 from ..config import CSnakeConfig
-from ..errors import UnknownSite
+from ..errors import ReproError, UnknownSite
 from ..instrument.plan import InjectionPlan
 from ..instrument.runtime import Runtime
 from ..instrument.trace import RunGroup, RunTrace
@@ -64,6 +75,49 @@ def run_workload(
     trace.saturated = env.saturated
     trace.virtual_end_ms = env.now
     return trace
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """Picklable by-name work item executed inside a worker process.
+
+    ``fault is None`` marks a profile task (compute the fault-free run
+    group of ``test_id``); otherwise the task carries the injection-plan
+    payload of one (fault, test) experiment.  The worker resolves
+    ``system_name`` through the systems registry — specs themselves hold
+    closures and never cross the process boundary.
+    """
+
+    system_name: str
+    test_id: str
+    config_json: str
+    fault: Optional[FaultKey] = None
+    plans: Tuple[InjectionPlan, ...] = ()
+
+
+#: Per-process cache of (system name, config) -> driver, so one worker
+#: builds each system spec once and computes each profile group once.
+_WORKER_DRIVERS: Dict[Tuple[str, str], "ExperimentDriver"] = {}
+
+
+def _worker_driver(system_name: str, config_json: str) -> "ExperimentDriver":
+    key = (system_name, config_json)
+    driver = _WORKER_DRIVERS.get(key)
+    if driver is None:
+        from ..systems import get_system  # deferred: systems import core
+
+        config = CSnakeConfig.from_dict(json.loads(config_json))
+        driver = ExperimentDriver(get_system(system_name), config)
+        _WORKER_DRIVERS[key] = driver
+    return driver
+
+
+def execute_experiment_task(task: ExperimentTask) -> Union[RunGroup, Tuple[FcaResult, int]]:
+    """Worker-process entry point: run one :class:`ExperimentTask`."""
+    driver = _worker_driver(task.system_name, task.config_json)
+    if task.fault is None:
+        return driver.profile(task.test_id)
+    return driver._execute_plans(task.fault, task.test_id, list(task.plans))
 
 
 @dataclass
@@ -115,7 +169,11 @@ class ExperimentDriver:
             for test_id in pending:
                 self.profile(test_id)
             return
-        groups = executor.map(self._compute_profile, pending)
+        if executor.requires_pickling:
+            tasks = [self._profile_task(test_id) for test_id in pending]
+            groups = executor.map(execute_experiment_task, tasks)
+        else:
+            groups = executor.map(self._compute_profile, pending)
         with self._profile_lock:
             for test_id, group in zip(pending, groups):
                 if test_id not in self._profiles:
@@ -171,6 +229,11 @@ class ExperimentDriver:
         Touches no driver state beyond the (lock-protected) profile cache,
         so executions of distinct (fault, test) pairs may run concurrently.
         """
+        return self._execute_plans(fault, test_id, self._plans_for(fault))
+
+    def _execute_plans(
+        self, fault: FaultKey, test_id: str, plans: List[InjectionPlan]
+    ) -> Tuple[FcaResult, int]:
         if fault.site_id not in self.spec.registry:
             raise UnknownSite(fault.site_id)
         workload = self.spec.workloads[test_id]
@@ -178,7 +241,7 @@ class ExperimentDriver:
         combined = FcaResult(fault=fault, test_id=test_id)
         interference: Set[FaultKey] = set()
         runs = 0
-        for plan in self._plans_for(fault):
+        for plan in plans:
             group = RunGroup(test_id=test_id, injection=plan)
             for rep in range(self.config.repeats):
                 seed = _seed_for(test_id, rep, self.config.seed)
@@ -189,6 +252,45 @@ class ExperimentDriver:
             interference.update(partial.interference)
         combined.interference = sorted(interference)
         return combined, runs
+
+    # ----------------------------------------------- process-backend tasks
+
+    def _config_json(self) -> str:
+        """Cached canonical config snapshot shipped with task descriptors."""
+        snapshot = getattr(self, "_config_json_cache", None)
+        if snapshot is None:
+            snapshot = json.dumps(self.config.to_dict(), sort_keys=True)
+            self._config_json_cache = snapshot
+        return snapshot
+
+    def _task_system_name(self) -> str:
+        """The registry name workers resolve; fails fast for ad-hoc specs."""
+        from ..systems import available_systems  # deferred: systems import core
+
+        name = self.spec.name
+        if name not in available_systems():
+            raise ReproError(
+                "the process backend needs a system registered under "
+                "repro.systems to rebuild %r inside workers; use the thread "
+                "or serial backend for ad-hoc specs" % (name,)
+            )
+        return name
+
+    def _experiment_task(self, fault: FaultKey, test_id: str) -> ExperimentTask:
+        return ExperimentTask(
+            system_name=self._task_system_name(),
+            test_id=test_id,
+            config_json=self._config_json(),
+            fault=fault,
+            plans=tuple(self._plans_for(fault)),
+        )
+
+    def _profile_task(self, test_id: str) -> ExperimentTask:
+        return ExperimentTask(
+            system_name=self._task_system_name(),
+            test_id=test_id,
+            config_json=self._config_json(),
+        )
 
     def commit_result(self, result: FcaResult, runs: int = 0) -> FcaResult:
         """Fold an executed experiment into the edge DB and counters."""
@@ -217,5 +319,9 @@ class ExperimentDriver:
         pairs = list(pairs)
         if executor is None or executor.max_workers <= 1 or len(pairs) <= 1:
             return [self.run_experiment(fault, test_id) for fault, test_id in pairs]
-        executed = executor.map(lambda p: self.execute_experiment(*p), pairs)
+        if executor.requires_pickling:
+            tasks = [self._experiment_task(fault, test_id) for fault, test_id in pairs]
+            executed = executor.map(execute_experiment_task, tasks)
+        else:
+            executed = executor.map(lambda p: self.execute_experiment(*p), pairs)
         return [self.commit_result(result, runs) for result, runs in executed]

@@ -14,6 +14,9 @@ class EdgeDB:
 
     _edges: Dict[Tuple, CausalEdge] = field(default_factory=dict)
     _by_src: Dict[FaultKey, List[CausalEdge]] = field(default_factory=dict)
+    #: Position of each edge key within its ``_by_src`` bucket, so a
+    #: state-merge replaces in O(1) instead of linearly scanning the bucket.
+    _bucket_pos: Dict[Tuple, int] = field(default_factory=dict)
 
     def add(self, edge: CausalEdge) -> bool:
         """Insert ``edge``; returns False if an identical edge exists.
@@ -38,16 +41,17 @@ class EdgeDB:
                 src_states=existing.src_states | edge.src_states,
                 dst_states=existing.dst_states | edge.dst_states,
             )
-            self._replace(key, existing, merged)
+            self._replace(key, merged)
             return False
         self._edges[key] = edge
-        self._by_src.setdefault(edge.src, []).append(edge)
+        bucket = self._by_src.setdefault(edge.src, [])
+        self._bucket_pos[key] = len(bucket)
+        bucket.append(edge)
         return True
 
-    def _replace(self, key: Tuple, old: CausalEdge, new: CausalEdge) -> None:
+    def _replace(self, key: Tuple, new: CausalEdge) -> None:
         self._edges[key] = new
-        bucket = self._by_src[old.src]
-        bucket[bucket.index(old)] = new
+        self._by_src[new.src][self._bucket_pos[key]] = new
 
     def add_all(self, edges: Iterable[CausalEdge]) -> int:
         return sum(1 for e in edges if self.add(e))

@@ -49,11 +49,15 @@ class _Scope:
 class _Frame:
     """One function invocation on the instrumented call stack."""
 
-    __slots__ = ("site", "scopes")
+    __slots__ = ("site", "scopes", "above")
 
-    def __init__(self, site: str) -> None:
+    def __init__(self, site: str, above: tuple) -> None:
         self.site = site
         self.scopes: List[_Scope] = [_Scope(None)]
+        #: The two call-stack levels above this frame (2-call-site
+        #: sensitivity) — fixed for the frame's lifetime, so local-state
+        #: recording reads it instead of re-walking the stack.
+        self.above = above
 
 
 class Runtime:
@@ -76,6 +80,17 @@ class Runtime:
         self._exception_fired = False
         self._negation_fired = False
         self._injected_delay_iters = 0
+        # Interned recording: resolve site ids to dense integers once and
+        # record into the trace's flat stores, avoiding per-event string
+        # hashing (the §8.5 overhead hot path).
+        self._index = registry.interner().mapping
+        if enabled:
+            self.trace.bind_interner(registry.interner())
+        # Iteration states already recorded, keyed by the raw
+        # (site, stack, branches) tuples: repeat states of a hot loop skip
+        # LocalState construction and dataclass hashing entirely.
+        self._state_memo: set = set()
+        self._detector_meta: dict = {}
 
     def bind_env(self, env: Any) -> None:
         """Attach the simulation environment (needed for delay injection)."""
@@ -92,10 +107,8 @@ class Runtime:
 
     def _stack_above_enclosing(self) -> tuple:
         """Closest two call-stack levels above the enclosing function."""
-        n = len(self._frames)
-        first = self._frames[n - 2].site if n >= 2 else _ROOT
-        second = self._frames[n - 3].site if n >= 3 else _ROOT
-        return (first, second)
+        frames = self._frames
+        return frames[-1].above if frames else (_ROOT, _ROOT)
 
     def _local_state(self) -> LocalState:
         branches = tuple(self._frames[-1].scopes[-1].branches) if self._frames else ()
@@ -110,10 +123,13 @@ class Runtime:
         )
 
     def _record_iteration_state(self, site_id: str, scope: _Scope) -> None:
-        state = LocalState(self._stack_above_enclosing(), tuple(scope.branches))
-        states = self.trace.loop_states.setdefault(site_id, set())
+        key = (site_id, self._stack_above_enclosing(), tuple(scope.branches))
+        if key in self._state_memo:
+            return
+        states = self.trace.states_bucket(site_id)
         if len(states) < MAX_STATES_PER_SITE:
-            states.add(state)
+            self._state_memo.add(key)
+            states.add(LocalState(key[1], key[2]))
 
     # ----------------------------------------------------------- call stack
 
@@ -123,11 +139,17 @@ class Runtime:
         if not self.enabled:
             yield
             return
-        self._frames.append(_Frame(site_id))
+        frames = self._frames
+        n = len(frames)
+        above = (
+            frames[n - 1].site if n >= 1 else _ROOT,
+            frames[n - 2].site if n >= 2 else _ROOT,
+        )
+        frames.append(_Frame(site_id, above))
         try:
             yield
         finally:
-            self._frames.pop()
+            frames.pop()
 
     # -------------------------------------------------------------- branches
 
@@ -136,8 +158,13 @@ class Runtime:
         outcome = bool(cond)
         if not self.enabled:
             return outcome
-        self.trace.reached.add(site_id)
-        self.trace.branches_recorded += 1
+        trace = self.trace
+        idx = self._index.get(site_id)
+        if idx is None:
+            trace._extra_reached.add(site_id)
+        else:
+            trace._reached_flags[idx] = 1
+        trace.branches_recorded += 1
         if self._frames:
             self._frames[-1].scopes[-1].branches.append((site_id, outcome))
         return outcome
@@ -154,9 +181,19 @@ class Runtime:
             return
         delay = self.plan.delay_ms if self._armed(site_id, InjKind.DELAY) else None
         frame = self._frames[-1] if self._frames else None
+        trace = self.trace
+        idx = self._index.get(site_id)
+        if idx is None:
+            counts, flags = trace._extra_counts, None
+        else:
+            counts, flags = trace._counts, trace._reached_flags
+        key = site_id if idx is None else idx
         for item in iterable:
-            self.trace.loop_counts[site_id] += 1
-            self.trace.reached.add(site_id)
+            counts[key] += 1
+            if flags is None:
+                trace._extra_reached.add(site_id)
+            else:
+                flags[key] = 1
             scope = _Scope(site_id)
             if frame is not None:
                 frame.scopes.append(scope)
@@ -197,8 +234,13 @@ class Runtime:
                 self._record_iteration_state(site_id, closed)
         if not outcome:
             return False
-        self.trace.loop_counts[site_id] += 1
-        self.trace.reached.add(site_id)
+        idx = self._index.get(site_id)
+        if idx is None:
+            self.trace._extra_counts[site_id] += 1
+            self.trace._extra_reached.add(site_id)
+        else:
+            self.trace._counts[idx] += 1
+            self.trace._reached_flags[idx] = 1
         if frame is not None:
             frame.scopes.append(_Scope(site_id))
         if self._armed(site_id, InjKind.DELAY):
@@ -223,16 +265,17 @@ class Runtime:
             if natural:
                 raise exc_cls("natural fault at %s" % site_id)
             return
-        self.trace.reached.add(site_id)
-        key = FaultKey(site_id, InjKind.EXCEPTION)
+        self.trace.mark_reached(site_id)
         if self._armed(site_id, InjKind.EXCEPTION) and not self._exception_fired:
             self._exception_fired = True
+            key = FaultKey(site_id, InjKind.EXCEPTION)
             self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=True))
             # Raise the *same* exception type the site naturally throws so
             # the system's own handlers catch it (software-implemented fault
             # injection: we inject the effect, not a marker).
             raise exc_cls("injected fault at %s" % site_id)
         if natural:
+            key = FaultKey(site_id, InjKind.EXCEPTION)
             self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=False))
             raise exc_cls("natural fault at %s" % site_id)
 
@@ -247,15 +290,16 @@ class Runtime:
         """
         if not self.enabled:
             return fn(*args, **kwargs)
-        self.trace.reached.add(site_id)
-        key = FaultKey(site_id, InjKind.EXCEPTION)
+        self.trace.mark_reached(site_id)
         if self._armed(site_id, InjKind.EXCEPTION) and not self._exception_fired:
             self._exception_fired = True
+            key = FaultKey(site_id, InjKind.EXCEPTION)
             self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=True))
             raise exc_cls("injected fault at %s" % site_id)
         try:
             return fn(*args, **kwargs)
         except exc_cls:
+            key = FaultKey(site_id, InjKind.EXCEPTION)
             self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=False))
             raise
 
@@ -272,16 +316,17 @@ class Runtime:
         """
         if not self.enabled:
             return fn(*args, **kwargs)
-        self.trace.reached.add(site_id)
-        key = FaultKey(site_id, InjKind.EXCEPTION)
+        self.trace.mark_reached(site_id)
         armed = self._armed(site_id, InjKind.EXCEPTION) and not self._exception_fired
         try:
             result = fn(*args, **kwargs)
         except exc_cls:
+            key = FaultKey(site_id, InjKind.EXCEPTION)
             self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=False))
             raise
         if armed:
             self._exception_fired = True
+            key = FaultKey(site_id, InjKind.EXCEPTION)
             self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=True))
             raise exc_cls("injected response loss at %s" % site_id)
         return result
@@ -293,20 +338,24 @@ class Runtime:
         result = bool(value)
         if not self.enabled:
             return result
-        self.trace.reached.add(site_id)
-        key = FaultKey(site_id, InjKind.NEGATION)
+        self.trace.mark_reached(site_id)
         if self._armed(site_id, InjKind.NEGATION) and (
             self.plan.sticky or not self._negation_fired
         ):
             self._negation_fired = True
+            key = FaultKey(site_id, InjKind.NEGATION)
             self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=True))
             return not result
-        try:
-            meta = self.registry.get(site_id).detector
-        except UnknownSite:
-            meta = None
-        error_value = meta.error_value if meta is not None else True
+        error_value = self._detector_meta.get(site_id)
+        if error_value is None:
+            try:
+                meta = self.registry.get(site_id).detector
+            except UnknownSite:
+                meta = None
+            error_value = meta.error_value if meta is not None else True
+            self._detector_meta[site_id] = error_value
         if result == error_value:
+            key = FaultKey(site_id, InjKind.NEGATION)
             self.trace.record_event(FaultEvent(key, self._now(), self._local_state(), injected=False))
         return result
 

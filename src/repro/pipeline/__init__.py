@@ -23,7 +23,14 @@ from .events import (
     PipelineObserver,
     ProgressPrinter,
 )
-from .executor import Executor, ParallelExecutor, SerialExecutor, make_executor
+from .executor import (
+    BACKENDS,
+    Executor,
+    ParallelExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from .runner import Pipeline
 from .session import Session
 from .stage import Stage
@@ -51,6 +58,8 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ProcessExecutor",
+    "BACKENDS",
     "make_executor",
     "Session",
     "PipelineEvent",

@@ -46,6 +46,7 @@ class Pipeline:
     ) -> None:
         self.spec = spec
         self.config = config or (ctx.config if ctx is not None else CSnakeConfig())
+        self._owns_executor = executor is None and ctx is None
         if ctx is not None:
             # Stages always execute on ctx.executor — reconcile rather than
             # letting an explicit executor argument silently diverge from it.
@@ -54,7 +55,9 @@ class Pipeline:
             self.ctx = ctx
             self.executor = ctx.executor
         else:
-            self.executor = executor or make_executor(self.config.experiment_workers)
+            self.executor = executor or make_executor(
+                self.config.experiment_workers, self.config.experiment_backend
+            )
             self.ctx = PipelineContext(spec, self.config, self.executor)
         self.stages: List[Stage] = list(stages) if stages is not None else default_stages()
         self.observers = list(observers)
@@ -125,6 +128,18 @@ class Pipeline:
         """
         started = time.perf_counter()
         self._emit(PIPELINE_STARTED)
+        try:
+            self._run_stages()
+        finally:
+            if self._owns_executor:
+                # Release backend resources (worker processes, in
+                # particular).  Executors re-open lazily, so a re-run of
+                # the same pipeline object still works.
+                self.executor.close()
+        self._emit(PIPELINE_FINISHED, seconds=time.perf_counter() - started)
+        return self.ctx
+
+    def _run_stages(self) -> None:
         resuming = self.session is not None
         for stage in self.stages:
             if all(self.ctx.has(name) for name in stage.provides):
@@ -157,5 +172,3 @@ class Pipeline:
                     stage.name, {n: self.ctx.get(n) for n in names}
                 )
             self._emit(STAGE_FINISHED, stage.name, seconds)
-        self._emit(PIPELINE_FINISHED, seconds=time.perf_counter() - started)
-        return self.ctx

@@ -35,7 +35,7 @@ SCHEMA_VERSION = 1
 #: Config knobs that change execution strategy but provably not results —
 #: parallel campaigns are bit-identical to serial ones — so a resume may
 #: override them without invalidating the session.
-_EXECUTION_ONLY_KNOBS = ("experiment_workers", "beam_workers")
+_EXECUTION_ONLY_KNOBS = ("experiment_workers", "experiment_backend", "beam_workers")
 
 
 def _atomic_write(path: Path, payload: Dict[str, Any]) -> None:

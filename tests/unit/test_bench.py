@@ -22,3 +22,34 @@ def test_bench_config_overrides():
 def test_bench_config_default_budget():
     cfg = bench_config("unknown-system")
     assert cfg.budget_per_fault == 8
+
+
+# ------------------------------------------------------- campaign benchmark
+
+
+def test_bench_campaign_smoke(tmp_path):
+    import json
+
+    from repro.bench import bench_campaign, check_regression, write_bench_json
+
+    result = bench_campaign(smoke=True, workers=2, backends=("serial", "thread"), overhead=False)
+    assert result["system"] == "toy"
+    serial = result["backends"]["serial"]
+    thread = result["backends"]["thread"]
+    assert serial["wall_s"] > 0
+    assert thread["identical_to_serial"]
+    assert thread["digest"] == serial["digest"]
+    assert set(serial["phases"]) == {"analyze", "profile", "allocate", "search", "report"}
+
+    out = tmp_path / "bench.json"
+    write_bench_json(result, str(out))
+    loaded = json.loads(out.read_text())
+    assert loaded["backends"]["serial"]["wall_s"] == serial["wall_s"]
+
+    # The result never regresses against itself...
+    assert check_regression(result, str(out), max_factor=2.0) == []
+    # ...and a absurdly fast baseline trips the gate.
+    loaded["backends"]["serial"]["wall_s"] = serial["wall_s"] / 100.0
+    fast = tmp_path / "fast.json"
+    fast.write_text(json.dumps(loaded))
+    assert check_regression(result, str(fast), max_factor=2.0)

@@ -1,0 +1,150 @@
+"""Interned trace recording must be observationally identical to the
+string-keyed (seed) recording path.
+
+An unbound ``RunTrace`` still records into string-keyed dict/set/Counter
+structures — exactly the seed implementation.  A trace bound to a
+``SiteInterner`` records into flat arrays.  Feeding both the same event
+sequence must yield equal queries, equal views, and byte-identical
+serialization.
+"""
+
+import json
+
+import pytest
+
+from repro.core.driver import _seed_for, run_workload
+from repro.instrument.sites import SiteRegistry
+from repro.instrument.trace import FaultEvent, RunTrace
+from repro.serialize import trace_from_obj, trace_to_obj
+from repro.systems import get_system
+from repro.types import FaultKey, InjKind, LocalState
+
+
+@pytest.fixture
+def registry():
+    reg = SiteRegistry("t")
+    reg.loop("t.outer", "F.run")
+    reg.loop("t.inner", "F.run", parent="t.outer")
+    reg.throw("t.ioe", "F.run")
+    reg.detector("t.check", "F.check")
+    reg.branch("t.cond", "F.run")
+    return reg
+
+
+def _state(stack=("f1", "f0"), branches=()):
+    return LocalState(call_stack=stack, branch_trace=branches)
+
+
+def _record_sequence(trace: RunTrace) -> None:
+    """The same mixed recording sequence, against either storage mode."""
+    exc = FaultKey("t.ioe", InjKind.EXCEPTION)
+    trace.record_event(FaultEvent(exc, 10.0, _state(), injected=False))
+    trace.record_event(FaultEvent(exc, 20.0, _state(("g1", "g0")), injected=True))
+    for rep in range(5):
+        trace.record_loop_iteration("t.outer", _state(branches=(("t.cond", True),)))
+        trace.record_loop_iteration("t.inner", _state())
+    trace.record_loop_iteration("t.inner", None)
+    # A site the registry does not know falls back to string storage.
+    trace.record_loop_iteration("t.unregistered", _state())
+    trace.mark_reached("t.check")
+    trace.branches_recorded = 7
+
+
+@pytest.fixture
+def traces(registry):
+    unbound = RunTrace(test_id="t1", seed=3)
+    interned = RunTrace(test_id="t1", seed=3, interner=registry.interner())
+    _record_sequence(unbound)
+    _record_sequence(interned)
+    return unbound, interned
+
+
+def test_views_identical(traces):
+    unbound, interned = traces
+    assert interned.loop_counts == unbound.loop_counts
+    assert interned.loop_states == unbound.loop_states
+    assert interned.reached == unbound.reached
+    assert interned.loop_sites() == unbound.loop_sites()
+
+
+def test_queries_identical(traces):
+    unbound, interned = traces
+    exc = FaultKey("t.ioe", InjKind.EXCEPTION)
+    assert interned.natural_faults() == unbound.natural_faults()
+    assert interned.states_of(exc) == unbound.states_of(exc)
+    assert interned.states_of(exc, natural_only=False) == unbound.states_of(
+        exc, natural_only=False
+    )
+    for site in ("t.outer", "t.inner", "t.unregistered", "t.ioe"):
+        assert interned.loop_count(site) == unbound.loop_count(site)
+        assert interned.loop_states_at(site) == unbound.loop_states_at(site)
+        assert interned.was_reached(site) == unbound.was_reached(site)
+
+
+def test_content_equality_across_modes(traces):
+    unbound, interned = traces
+    assert interned == unbound
+
+
+def test_serialization_byte_identical(traces):
+    unbound, interned = traces
+    a = json.dumps(trace_to_obj(unbound), sort_keys=True)
+    b = json.dumps(trace_to_obj(interned), sort_keys=True)
+    assert a == b
+
+
+def test_round_trip_from_obj(traces):
+    _, interned = traces
+    back = trace_from_obj(trace_to_obj(interned))
+    assert back.interner is None  # deserialized traces are string-keyed
+    assert back == interned
+    assert trace_to_obj(back) == trace_to_obj(interned)
+
+
+def test_bind_interner_migrates_recorded_data(registry):
+    trace = RunTrace(test_id="t1")
+    _record_sequence(trace)
+    before = (dict(trace.loop_counts), set(trace.reached), trace.loop_states)
+    trace.bind_interner(registry.interner())
+    assert trace.interner is registry.interner()
+    assert dict(trace.loop_counts) == before[0]
+    assert set(trace.reached) == before[1]
+    assert trace.loop_states == before[2]
+
+
+def test_workload_trace_round_trip():
+    """A real simulated run must survive serialize round-trip unchanged."""
+    spec = get_system("toy")
+    test_id = spec.workload_ids()[0]
+    workload = spec.workloads[test_id]
+    trace = run_workload(spec, workload, None, _seed_for(test_id, 0, 7))
+    assert trace.interner is not None  # the driver records interned
+    back = trace_from_obj(trace_to_obj(trace))
+    assert back == trace
+    assert back.natural_faults() == trace.natural_faults()
+    assert sorted(back.loop_counts.items()) == sorted(trace.loop_counts.items())
+    assert back.reached == trace.reached
+    assert json.dumps(trace_to_obj(back), sort_keys=True) == json.dumps(
+        trace_to_obj(trace), sort_keys=True
+    )
+
+
+def test_interner_pickles():
+    import pickle
+
+    spec = get_system("toy")
+    interner = spec.registry.interner()
+    clone = pickle.loads(pickle.dumps(interner))
+    assert clone == interner
+    assert clone.names() == interner.names()
+    assert clone.index(interner.name(0)) == 0
+
+
+def test_interned_trace_pickles():
+    import pickle
+
+    spec = get_system("toy")
+    test_id = spec.workload_ids()[0]
+    trace = run_workload(spec, spec.workloads[test_id], None, _seed_for(test_id, 0, 7))
+    clone = pickle.loads(pickle.dumps(trace))
+    assert clone == trace
