@@ -45,7 +45,14 @@ SEED_OVERHEAD_PCT: Dict[str, float] = {
 def _campaign_once(
     system: str, config: CSnakeConfig, backend: str, workers: int
 ) -> Dict[str, Any]:
-    """Run one full campaign on one backend; returns timing + digests."""
+    """Run one full campaign on one backend; returns timing + digests.
+
+    With ``config.cache_dir`` set, the campaign runs through the shared
+    experiment cache and its hit/miss/store counters land in the entry —
+    since the serial reference runs first (cold) and every later backend
+    reuses the same store (warm), the existing cross-backend digest check
+    doubles as a cache-cold ≡ cache-warm parity check.
+    """
     recorder = EventRecorder()
     executor = make_executor(workers if backend != "serial" else 1, backend)
     started = time.perf_counter()
@@ -60,7 +67,7 @@ def _campaign_once(
     digest = hashlib.sha256(
         json.dumps({"report": report, "edges": edges}, sort_keys=True).encode()
     ).hexdigest()
-    return {
+    entry = {
         "backend": backend,
         "workers": workers if backend != "serial" else 1,
         "wall_s": round(wall_s, 4),
@@ -74,6 +81,9 @@ def _campaign_once(
         "edges": len(edges),
         "digest": digest,
     }
+    if ctx.driver.cache is not None:
+        entry["cache"] = ctx.driver.cache.stats()
+    return entry
 
 
 def _profile_wall_s(spec, test_id: str, enabled: bool) -> float:
@@ -113,26 +123,47 @@ def measure_agent_overhead(
 
 
 def bench_campaign(
-    system: str = "minihdfs2",
+    system: Optional[str] = None,
     workers: Optional[int] = None,
     backends: Sequence[str] = BACKENDS,
     smoke: bool = False,
     overhead: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Benchmark one system's campaign across executor backends.
 
-    ``smoke`` switches to the toy system with a reduced configuration —
-    seconds instead of minutes, for CI.  The serial backend is always run
-    first as the reference; per-backend speedups and report parity are
-    computed against it.
+    ``smoke`` switches to a reduced configuration (and, with no explicit
+    ``system``, to the toy system) — seconds instead of minutes, for CI.
+    The serial backend is always run first as the reference; per-backend
+    speedups and report parity are computed against it.  With
+    ``cache_dir`` the backends share one experiment cache: serial runs
+    cold, every later backend runs warm, and the parity check then also
+    asserts cache-warm ≡ cache-cold.
     """
     if smoke:
-        system = "toy"
+        system = system or "toy"
         config = CSnakeConfig(
             repeats=2, delay_values_ms=(500.0, 8000.0), seed=7, budget_per_fault=2
         )
     else:
+        system = system or "minihdfs2"
         config = bench_config(system)
+    if cache_dir is not None:
+        import dataclasses
+        from pathlib import Path
+
+        from ..errors import ReproError
+
+        # The serial reference must run cold — its wall time anchors the
+        # speedup columns and the --check regression gate.  A pre-populated
+        # store would warm it silently and void both numbers.
+        root = Path(cache_dir)
+        if root.exists() and any(root.glob("*/*.json")):
+            raise ReproError(
+                "bench needs a fresh cache dir (the serial reference must "
+                "run cold), but %s already holds entries" % cache_dir
+            )
+        config = dataclasses.replace(config, cache_dir=cache_dir)
     if workers is None:
         workers = os.cpu_count() or 1
     ordered = ["serial"] + [b for b in backends if b != "serial"]

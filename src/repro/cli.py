@@ -6,9 +6,12 @@ Examples::
     python -m repro.cli run toy
     python -m repro.cli run toy --backend process --workers 4 --out report.json
     python -m repro.cli run minihdfs2 --budget 10 --seed 7 --stages analyze,profile
+    python -m repro.cli run miniraft --cache-dir /tmp/raft-cache
     python -m repro.cli resume /tmp/s --backend thread --workers 2
     python -m repro.cli inject minihbase hm.assign.rpc:exception hbase.rs_fault_tolerance
     python -m repro.cli bench --smoke --out BENCH_campaign.json
+
+See docs/cli.md for the full flag-by-flag reference.
 """
 
 from __future__ import annotations
@@ -91,7 +94,30 @@ def _config(args: argparse.Namespace) -> CSnakeConfig:
             workers = os.cpu_count() or 1
     if workers is not None:
         params["experiment_workers"] = workers
+    cache_dir = _cache_dir(args)
+    if cache_dir is not None:
+        params["cache_dir"] = cache_dir
     return CSnakeConfig(**params)
+
+
+def _cache_dir(args: argparse.Namespace) -> Optional[str]:
+    """Resolve the --cache/--no-cache/--cache-dir flags to a directory.
+
+    ``--no-cache`` wins over everything; ``--cache-dir DIR`` selects DIR;
+    bare ``--cache`` uses ``<session-dir>/cache`` when a session directory
+    is given and ``.repro-cache`` otherwise.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    explicit = getattr(args, "cache_dir", None)
+    if explicit:
+        return explicit
+    if getattr(args, "cache", False):
+        session_dir = getattr(args, "session_dir", None)
+        if session_dir:
+            return os.path.join(session_dir, "cache")
+        return ".repro-cache"
+    return None
 
 
 def _print_report(report: DetectionReport, args: argparse.Namespace) -> None:
@@ -142,17 +168,46 @@ def _run_pipeline(
         # Partial --stages run: report which artifacts were produced.
         print("completed stages: %s" % ", ".join(s.name for s in stages))
         print("artifacts: %s" % ", ".join(ctx.names()))
+        _print_cache_stats(ctx)
         return 0
     _print_report(report, args)
+    _print_cache_stats(ctx)
     return 0 if report.detected_bugs else 1
+
+
+def _print_cache_stats(ctx) -> None:
+    """Surface experiment-cache counters (execution metadata, so they are
+    printed next to the report rather than embedded in its JSON — report
+    digests stay identical between cold and warm runs)."""
+    cache = ctx.driver.cache
+    if cache is None:
+        return
+    stats = cache.stats()
+    print(
+        "cache: %d hits, %d misses, %d stored (%s)"
+        % (stats["hits"], stats["misses"], stats["stores"], stats["dir"]),
+        file=sys.stderr,
+    )
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
     for name in available_systems():
         spec = get_system(name)
+        counts = spec.registry.counts()
+        bug_ids = ", ".join(b.bug_id for b in spec.known_bugs) or "-"
         print(
-            "%-12s %3d sites, %2d tests, %d known bugs"
-            % (name, len(spec.registry), len(spec.workloads), len(spec.known_bugs))
+            "%-12s %3d sites (%d loops, %d throws, %d detectors, %d branches), "
+            "%2d tests, bugs: %s"
+            % (
+                name,
+                len(spec.registry),
+                counts["loop"],
+                counts["throw"] + counts["lib_call"],
+                counts["detector"],
+                counts["branch"],
+                len(spec.workloads),
+                bug_ids,
+            )
         )
     return 0
 
@@ -183,9 +238,15 @@ def cmd_resume(args: argparse.Namespace) -> int:
         overrides["experiment_backend"] = args.backend
         if workers is None and args.backend != "serial":
             overrides["experiment_workers"] = os.cpu_count() or 1
+    if args.no_cache:
+        overrides["cache_dir"] = None
+    else:
+        cache_dir = _cache_dir(args)
+        if cache_dir is not None:
+            overrides["cache_dir"] = cache_dir
     if overrides:
-        # Backend/worker overrides never change results, only where the
-        # remaining experiments execute.
+        # Backend/worker/cache overrides never change results, only where
+        # (and whether) the remaining experiments execute.
         config = dataclasses.replace(config, **overrides)
     return _run_pipeline(session.system, config, args, session, None)
 
@@ -219,17 +280,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
         backends=backends,
         smoke=args.smoke,
         overhead=not args.no_overhead,
+        cache_dir=_cache_dir(args),
     )
     write_bench_json(result, args.out)
     for backend in backends:
         entry = result["backends"][backend]
+        cache = entry.get("cache")
         print(
-            "%-8s %7.3fs  %5.2fx vs serial  %s"
+            "%-8s %7.3fs  %5.2fx vs serial  %s%s"
             % (
                 backend,
                 entry["wall_s"],
                 entry["speedup_vs_serial"],
                 "identical" if entry["identical_to_serial"] else "DIVERGED",
+                "  cache %d/%d hit" % (cache["hits"], cache["hits"] + cache["misses"])
+                if cache
+                else "",
             )
         )
     for system, entry in sorted(result.get("agent_overhead", {}).items()):
@@ -249,6 +315,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print("no regression vs %s" % args.check)
     return 0
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser, bare: bool = True) -> None:
+    """Experiment-cache selection shared by experiment subcommands.
+
+    ``bare=False`` omits the ``--cache`` shorthand: bench requires a fresh
+    store (its serial reference must run cold), so pointing it at the
+    persistent default location would fail on every reuse.
+    """
+    if bare:
+        parser.add_argument(
+            "--cache", action="store_true",
+            help="enable the content-addressed experiment cache "
+            "(under <session-dir>/cache, or .repro-cache without a session)",
+        )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="enable the experiment cache rooted at DIR",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the experiment cache even if --cache/--cache-dir is set",
+    )
 
 
 def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
@@ -289,7 +378,9 @@ def _add_output_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-v", "--verbose", action="store_true", help="stage progress on stderr")
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argument parser (also used by the docs tests to
+    assert that docs/cli.md covers every subcommand and flag)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -309,11 +400,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="persist per-stage artifacts under DIR (resumable)",
     )
     _add_experiment_flags(run)
+    _add_cache_flags(run)
     _add_output_flags(run)
 
     resume = sub.add_parser("resume", help="resume an interrupted --session-dir run")
     resume.add_argument("session_dir", metavar="DIR")
     _add_backend_flags(resume)
+    _add_cache_flags(resume)
     _add_output_flags(resume)
 
     inject = sub.add_parser("inject", help="run one fault injection experiment")
@@ -326,12 +419,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench", help="benchmark a campaign across executor backends"
     )
     bench.add_argument(
-        "--system", choices=available_systems(), default="minihdfs2",
-        help="target system (ignored with --smoke, which uses toy)",
+        "--system", choices=available_systems(), default=None,
+        help="target system (default: minihdfs2, or toy with --smoke)",
     )
     bench.add_argument(
         "--smoke", action="store_true",
-        help="reduced toy-system benchmark for CI (seconds, not minutes)",
+        help="reduced benchmark configuration for CI (seconds, not minutes)",
     )
     bench.add_argument(
         "--backends", default="serial,thread,process", metavar="B,B,...",
@@ -345,6 +438,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-overhead", action="store_true",
         help="skip the instrumentation-overhead measurement",
     )
+    _add_cache_flags(bench, bare=False)
     bench.add_argument(
         "--out", default="BENCH_campaign.json", metavar="FILE",
         help="where to write the benchmark JSON (default: BENCH_campaign.json)",
@@ -357,8 +451,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-regression", type=float, default=2.0, metavar="X",
         help="allowed serial slowdown factor for --check (default 2.0)",
     )
+    return parser
 
-    args = parser.parse_args(argv)
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
     handler = {
         "list": cmd_list,
         "run": cmd_run,

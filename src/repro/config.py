@@ -4,9 +4,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from .errors import ConfigError
+
+#: Config knobs that change *how* a campaign executes but provably not its
+#: results (parallel campaigns are bit-identical to serial ones, and the
+#: experiment cache replays byte-identical results).  Sessions allow a
+#: resume to override them, and experiment-cache keys exclude them — a
+#: warm cache written by a serial run serves a process-backed one.
+EXECUTION_ONLY_KNOBS: Tuple[str, ...] = (
+    "experiment_workers",
+    "experiment_backend",
+    "beam_workers",
+    "cache_dir",
+)
 
 #: Delay sweep used for contention injection (§4.2): seven values between
 #: 100 ms and 8 s, in virtual milliseconds.
@@ -88,6 +100,12 @@ class CSnakeConfig:
     #: task descriptors), or ``"serial"`` (force the reference backend
     #: regardless of ``experiment_workers``).
     experiment_backend: str = "thread"
+    #: Root directory of the content-addressed experiment cache, or
+    #: ``None`` (default) to disable caching.  Cached profile run groups
+    #: and FCA results are keyed by a digest of (system digest, test id,
+    #: fault, injection plans, result-affecting config), so campaigns that
+    #: could produce different results never share entries.
+    cache_dir: "Optional[str]" = None
 
     def __post_init__(self) -> None:
         if self.repeats < 2:

@@ -15,6 +15,13 @@ the execute steps out over a :class:`~repro.pipeline.executor.Executor`
 and commits in submission order, so a parallel campaign produces the
 exact same ``EdgeDB`` contents and counters as a serial one.
 
+The same split is what makes the content-addressed experiment cache
+(:mod:`repro.cache`, enabled via ``CSnakeConfig.cache_dir``) safe: before
+dispatching to any backend, the driver resolves cached (fault, test)
+results and profile run groups by key digest, and commits replayed
+results exactly like fresh ones — a warm campaign skips the simulation
+but leaves identical edge-DB contents, counters, and report JSON.
+
 Process-backed executors cannot ship the driver's closures across the
 process boundary, so work crosses it as a picklable
 :class:`ExperimentTask` *descriptor* — system **name**, test id, fault,
@@ -135,6 +142,11 @@ class ExperimentDriver:
         self.results: List[FcaResult] = []
         self.experiments_run = 0  # budget units consumed
         self.runs_executed = 0  # individual simulated runs
+        self.cache = None
+        if self.config.cache_dir:
+            from ..cache import ExperimentCache  # deferred: avoids an import cycle
+
+            self.cache = ExperimentCache(self.config.cache_dir, self.spec, self.config)
 
     # -------------------------------------------------------------- profiles
 
@@ -147,12 +159,23 @@ class ExperimentDriver:
             group.add(run_workload(self.spec, workload, None, seed))
         return group
 
+    def _cached_profile(self, test_id: str) -> RunGroup:
+        """Profile group via the experiment cache (compute + store on miss)."""
+        if self.cache is None:
+            return self._compute_profile(test_id)
+        key = self.cache.profile_key(test_id)
+        group = self.cache.lookup_profile(key)
+        if group is None:
+            group = self._compute_profile(test_id)
+            self.cache.store_profile(key, test_id, group)
+        return group
+
     def profile(self, test_id: str) -> RunGroup:
         """Profile (fault-free) run group of a test; cached."""
         with self._profile_lock:
             group = self._profiles.get(test_id)
             if group is None:
-                group = self._compute_profile(test_id)
+                group = self._cached_profile(test_id)
                 self._profiles[test_id] = group
                 self.runs_executed += len(group)
         return group
@@ -161,24 +184,42 @@ class ExperimentDriver:
         """Profile every workload, optionally fanning tests out over workers.
 
         Profile runs of different tests are fully independent, so they can
-        execute concurrently; the cache is filled in workload-id order
-        either way.
+        execute concurrently; with an experiment cache attached only the
+        cache-missing tests are simulated, and either way the in-memory
+        cache is filled in workload-id order with identical counters.
         """
         pending = [t for t in self.spec.workload_ids() if t not in self._profiles]
-        if executor is None or executor.max_workers <= 1 or len(pending) <= 1:
+        groups: Dict[str, RunGroup] = {}
+        to_run = pending
+        keys: Dict[str, str] = {}
+        if self.cache is not None:
             for test_id in pending:
-                self.profile(test_id)
-            return
-        if executor.requires_pickling:
-            tasks = [self._profile_task(test_id) for test_id in pending]
-            groups = executor.map(execute_experiment_task, tasks)
-        else:
-            groups = executor.map(self._compute_profile, pending)
+                keys[test_id] = self.cache.profile_key(test_id)
+                hit = self.cache.lookup_profile(keys[test_id])
+                if hit is not None:
+                    groups[test_id] = hit
+            to_run = [t for t in pending if t not in groups]
+        if to_run:
+            if executor is None or executor.max_workers <= 1 or len(to_run) <= 1:
+                computed = [self._compute_profile(t) for t in to_run]
+            elif executor.requires_pickling:
+                tasks = [self._profile_task(t) for t in to_run]
+                computed = executor.map(execute_experiment_task, tasks)
+            else:
+                computed = executor.map(self._compute_profile, to_run)
+            for test_id, group in zip(to_run, computed):
+                groups[test_id] = group
+                if self.cache is not None:
+                    # Process-backend workers (which rebuild this driver,
+                    # cache included) may already have stored the group;
+                    # re-writing identical bytes is cheap and keeps the
+                    # parent's miss==store counters uniform across backends.
+                    self.cache.store_profile(keys[test_id], test_id, group)
         with self._profile_lock:
-            for test_id, group in zip(pending, groups):
+            for test_id in pending:
                 if test_id not in self._profiles:
-                    self._profiles[test_id] = group
-                    self.runs_executed += len(group)
+                    self._profiles[test_id] = groups[test_id]
+                    self.runs_executed += len(groups[test_id])
 
     def profiles(self) -> Dict[str, RunGroup]:
         """Snapshot of the profile cache (test id -> run group)."""
@@ -301,8 +342,21 @@ class ExperimentDriver:
         return result
 
     def run_experiment(self, fault: FaultKey, test_id: str) -> FcaResult:
-        """One budget unit: inject ``fault`` into ``test_id`` and run FCA."""
+        """One budget unit: inject ``fault`` into ``test_id`` and run FCA.
+
+        With an experiment cache attached, the cache is consulted first
+        and a replayed result commits exactly like a fresh one (including
+        the runs counter), so cache-warm campaigns stay bit-identical.
+        """
+        key = None
+        if self.cache is not None:
+            key = self.cache.experiment_key(test_id, fault, self._plans_for(fault))
+            hit = self.cache.lookup_experiment(key)
+            if hit is not None:
+                return self.commit_result(*hit)
         result, runs = self.execute_experiment(fault, test_id)
+        if key is not None:
+            self.cache.store_experiment(key, test_id, fault, result, runs)
         return self.commit_result(result, runs)
 
     def run_experiments(
@@ -314,14 +368,32 @@ class ExperimentDriver:
 
         With an executor, executions fan out across its workers while
         commits happen in ``pairs`` order — the hot path of every campaign,
-        and bit-identical to running the batch serially.
+        and bit-identical to running the batch serially.  With an
+        experiment cache attached, cached experiments are resolved before
+        dispatch and only the misses reach the backend.
         """
         pairs = list(pairs)
         if executor is None or executor.max_workers <= 1 or len(pairs) <= 1:
             return [self.run_experiment(fault, test_id) for fault, test_id in pairs]
-        if executor.requires_pickling:
-            tasks = [self._experiment_task(fault, test_id) for fault, test_id in pairs]
-            executed = executor.map(execute_experiment_task, tasks)
-        else:
-            executed = executor.map(lambda p: self.execute_experiment(*p), pairs)
-        return [self.commit_result(result, runs) for result, runs in executed]
+        by_index: Dict[int, Tuple[FcaResult, int]] = {}
+        keys: Dict[int, str] = {}
+        to_run = list(range(len(pairs)))
+        if self.cache is not None:
+            for i, (fault, test_id) in enumerate(pairs):
+                keys[i] = self.cache.experiment_key(test_id, fault, self._plans_for(fault))
+                hit = self.cache.lookup_experiment(keys[i])
+                if hit is not None:
+                    by_index[i] = hit
+            to_run = [i for i in range(len(pairs)) if i not in by_index]
+        if to_run:
+            if executor.requires_pickling:
+                tasks = [self._experiment_task(*pairs[i]) for i in to_run]
+                executed = executor.map(execute_experiment_task, tasks)
+            else:
+                executed = executor.map(lambda i: self.execute_experiment(*pairs[i]), to_run)
+            for i, (result, runs) in zip(to_run, executed):
+                by_index[i] = (result, runs)
+                if self.cache is not None:
+                    fault, test_id = pairs[i]
+                    self.cache.store_experiment(keys[i], test_id, fault, result, runs)
+        return [self.commit_result(*by_index[i]) for i in range(len(pairs))]

@@ -15,7 +15,6 @@ from typing import Any, Callable, Dict, Tuple
 
 from ..core.allocation import AllocationOutcome, AllocationRecord
 from ..core.beam import BeamSearchResult
-from ..core.fca import FcaResult
 from ..core.report import DetectionReport
 from ..instrument.trace import RunGroup
 from ..serialize import (
@@ -25,10 +24,10 @@ from ..serialize import (
     clustering_to_obj,
     cycle_from_obj,
     cycle_to_obj,
-    edge_from_obj,
-    edge_to_obj,
     fault_from_obj,
     fault_to_obj,
+    fca_from_obj,
+    fca_to_obj,
     group_from_obj,
     group_to_obj,
 )
@@ -59,24 +58,6 @@ class AllocationArtifact:
 
 
 # ------------------------------------------------------------------ codecs
-
-
-def _fca_to_obj(result: FcaResult) -> Dict[str, Any]:
-    return {
-        "fault": fault_to_obj(result.fault),
-        "test_id": result.test_id,
-        "edges": [edge_to_obj(e) for e in result.edges],
-        "interference": [fault_to_obj(f) for f in result.interference],
-    }
-
-
-def _fca_from_obj(obj: Dict[str, Any]) -> FcaResult:
-    return FcaResult(
-        fault=fault_from_obj(obj["fault"]),
-        test_id=obj["test_id"],
-        edges=[edge_from_obj(e) for e in obj["edges"]],
-        interference=[fault_from_obj(f) for f in obj["interference"]],
-    )
 
 
 def _profiles_dump(artifact: ProfilesArtifact) -> Dict[str, Any]:
@@ -114,7 +95,7 @@ def _allocation_dump(artifact: AllocationArtifact) -> Dict[str, Any]:
                 "phase": r.phase,
                 "fault": fault_to_obj(r.fault),
                 "test_id": r.test_id,
-                "result": _fca_to_obj(r.result) if r.result is not None else None,
+                "result": fca_to_obj(r.result) if r.result is not None else None,
             }
             for r in outcome.records
         ],
@@ -128,7 +109,7 @@ def _allocation_load(obj: Dict[str, Any]) -> AllocationArtifact:
                 phase=r["phase"],
                 fault=fault_from_obj(r["fault"]),
                 test_id=r["test_id"],
-                result=_fca_from_obj(r["result"]) if r["result"] is not None else None,
+                result=fca_from_obj(r["result"]) if r["result"] is not None else None,
             )
             for r in obj["records"]
         ],

@@ -25,25 +25,23 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, List
 
-from ..config import CSnakeConfig
+from ..config import EXECUTION_ONLY_KNOBS, CSnakeConfig
 from ..errors import SessionError, SessionMismatch
+from ..serialize import atomic_write_json
 from .artifacts import ARTIFACT_CODECS
 
 MANIFEST_NAME = "manifest.json"
 SCHEMA_VERSION = 1
 
-#: Config knobs that change execution strategy but provably not results —
-#: parallel campaigns are bit-identical to serial ones — so a resume may
-#: override them without invalidating the session.
-_EXECUTION_ONLY_KNOBS = ("experiment_workers", "experiment_backend", "beam_workers")
+#: Config knobs a resume may override without invalidating the session:
+#: they change execution strategy (backends, workers, caching) but provably
+#: not results — parallel and cache-warm campaigns are bit-identical to
+#: serial cold ones.
+_EXECUTION_ONLY_KNOBS = EXECUTION_ONLY_KNOBS
 
 
 def _atomic_write(path: Path, payload: Dict[str, Any]) -> None:
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=1, sort_keys=True)
-        fh.write("\n")
-    os.replace(tmp, path)
+    atomic_write_json(path, payload, indent=1)
 
 
 class Session:

@@ -10,15 +10,46 @@ artifact twice yields byte-identical files.
 
 from __future__ import annotations
 
+import json
+import os
 from collections import Counter
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from .core.clustering import Clustering, FaultCluster
 from .core.cycles import Cycle
+from .core.fca import FcaResult
 from .instrument.analyzer import AnalysisResult
 from .instrument.plan import InjectionPlan
 from .instrument.trace import FaultEvent, RunGroup, RunTrace
 from .types import CausalEdge, EdgeType, FaultKey, InjKind, LocalState, StateSet
+
+# ------------------------------------------------------------ atomic writes
+
+
+def atomic_write_json(
+    path: "os.PathLike[str]",
+    payload: Any,
+    indent: Optional[int] = None,
+    unique_tmp: bool = False,
+) -> None:
+    """Write ``payload`` as sorted JSON via temp file + ``os.replace``.
+
+    The single atomic-write implementation shared by session persistence
+    and the experiment cache.  ``unique_tmp`` makes the temp name
+    pid-unique so concurrent writers of the same entry (cache-sharing
+    worker processes) cannot clobber each other's half-written temp.
+    """
+    path = Path(path)
+    if unique_tmp:
+        tmp = path.with_suffix(".tmp.%d" % os.getpid())
+    else:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=indent, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
 
 # --------------------------------------------------------------- fault keys
 
@@ -178,6 +209,27 @@ def group_from_obj(obj: Dict[str, Any]) -> RunGroup:
     for run in obj["runs"]:
         group.add(trace_from_obj(run))
     return group
+
+
+# ------------------------------------------------------------- FCA results
+
+
+def fca_to_obj(result: FcaResult) -> Dict[str, Any]:
+    return {
+        "fault": fault_to_obj(result.fault),
+        "test_id": result.test_id,
+        "edges": [edge_to_obj(e) for e in result.edges],
+        "interference": [fault_to_obj(f) for f in result.interference],
+    }
+
+
+def fca_from_obj(obj: Dict[str, Any]) -> FcaResult:
+    return FcaResult(
+        fault=fault_from_obj(obj["fault"]),
+        test_id=obj["test_id"],
+        edges=[edge_from_obj(e) for e in obj["edges"]],
+        interference=[fault_from_obj(f) for f in obj["interference"]],
+    )
 
 
 # ---------------------------------------------------------- analysis result

@@ -2,7 +2,9 @@
 
 Five simulated distributed systems mirror the paper's evaluation targets
 (HDFS 2.10.2, HDFS 3.4.1, HBase 2.6.0, Flink 1.20.0, Ozone 1.4.0), plus a
-small ``toy`` system used by the quickstart and the test suite::
+Raft-style consensus target (``miniraft``) extending the evaluation beyond
+the paper and a small ``toy`` system used by the quickstart and the test
+suite::
 
     from repro.systems import get_system
     spec = get_system("minihdfs2")
@@ -44,6 +46,7 @@ def _build_registry_table() -> None:
     from .minihdfs import build_system as _hdfs
     from .miniflink import build_system as _flink
     from .miniozone import build_system as _ozone
+    from .miniraft import build_system as _raft
     from .toy import build_system as _toy
 
     _register("toy", _toy)
@@ -52,6 +55,7 @@ def _build_registry_table() -> None:
     _register("minihbase", _hbase)
     _register("miniflink", _flink)
     _register("miniozone", _ozone)
+    _register("miniraft", _raft)
 
 
 _build_registry_table()

@@ -60,6 +60,50 @@ class SystemSpec:
     registry: SiteRegistry
     workloads: Dict[str, WorkloadSpec] = field(default_factory=dict)
     known_bugs: List[KnownBug] = field(default_factory=list)
+    #: Spec version, part of every experiment-cache key.  Bump it whenever
+    #: the system's *behaviour* changes (node logic, workload bodies, cost
+    #: models) — structural changes to the registry or workload list are
+    #: picked up by :meth:`digest` automatically, behavioural ones are not.
+    version: str = "0"
+
+    def digest(self) -> str:
+        """Content digest of the declared system structure.
+
+        Covers the name, the declared :attr:`version`, every site
+        definition (id, kind, function, metadata), and the workload
+        inventory (test ids, durations, and sim configs).  Experiment
+        caches key on this, so adding/removing/redefining a site or
+        workload — or bumping :attr:`version` — invalidates all cached
+        results for the system.
+        """
+        import hashlib
+        import json
+
+        sites = []
+        for site in sorted(self.registry, key=lambda s: s.site_id):
+            sites.append(
+                [
+                    site.site_id,
+                    site.kind.value,
+                    site.function,
+                    repr(site.loop),
+                    repr(site.detector),
+                    repr(site.throw),
+                ]
+            )
+        payload = {
+            "name": self.name,
+            "version": self.version,
+            "sites": sites,
+            "workloads": [
+                # sim_config feeds SimEnv directly (timeouts, latencies),
+                # so it is declared result-affecting data like duration.
+                [t, self.workloads[t].duration_ms, repr(self.workloads[t].sim_config)]
+                for t in self.workload_ids()
+            ],
+        }
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
 
     def add_workload(self, spec: WorkloadSpec) -> None:
         if spec.test_id in self.workloads:

@@ -1,0 +1,5 @@
+"""MiniRaft: a Raft-style consensus target for the detection pipeline."""
+
+from .build import build_system
+
+__all__ = ["build_system"]

@@ -1,0 +1,86 @@
+"""Assemble the MiniRaft system spec."""
+
+from __future__ import annotations
+
+from ...types import FaultKey, InjKind
+from ...workloads.raft import raft_workloads
+from ..base import KnownBug, SystemSpec
+from .sites import build_registry
+
+
+def build_system() -> SystemSpec:
+    spec = SystemSpec(name="miniraft", version="1", registry=build_registry())
+    for workload in raft_workloads():
+        spec.add_workload(workload)
+    spec.known_bugs = [
+        KnownBug(
+            bug_id="RAFT-1",
+            description=(
+                "A slow follower apply loop times out the leader's "
+                "AppendEntries RPC; with resend-on-timeout configured the "
+                "leader rolls next_index back a whole window, so the "
+                "follower re-applies entries it already has."
+            ),
+            signature="1D|1E|0N",
+            core_faults=frozenset(
+                {
+                    FaultKey("flw.append.apply", InjKind.DELAY),
+                    FaultKey("ldr.append.rpc", InjKind.EXCEPTION),
+                }
+            ),
+            alt_detectable=True,
+        ),
+        KnownBug(
+            bug_id="RAFT-2",
+            description=(
+                "Slow AppendEntries application defers follower heartbeats "
+                "until the election-timeout detector trips; the election "
+                "makes the new leader re-send a conservative catch-up "
+                "window to every peer — more apply work, later heartbeats, "
+                "further elections."
+            ),
+            signature="1D|0E|1N",
+            core_faults=frozenset(
+                {
+                    FaultKey("flw.append.apply", InjKind.DELAY),
+                    FaultKey("flw.election.timed_out", InjKind.NEGATION),
+                }
+            ),
+            alt_detectable=True,
+        ),
+        KnownBug(
+            bug_id="RAFT-3",
+            description=(
+                "When the quorum detector reports lost quorum, the resync "
+                "fallback distrusts every match_index and re-sends a resync "
+                "window to all followers; the duplicated apply work delays "
+                "the very acks the detector is waiting for."
+            ),
+            signature="1D|0E|1N",
+            core_faults=frozenset(
+                {
+                    FaultKey("flw.append.apply", InjKind.DELAY),
+                    FaultKey("ldr.quorum.has", InjKind.NEGATION),
+                }
+            ),
+            alt_detectable=True,
+        ),
+        KnownBug(
+            bug_id="RAFT-4",
+            description=(
+                "A slow snapshot install times out the leader's "
+                "InstallSnapshot RPC; with snapshot retry configured the "
+                "next tick restarts the transfer from chunk zero and the "
+                "follower installs the same chunks again."
+            ),
+            signature="1D|1E|0N",
+            core_faults=frozenset(
+                {
+                    FaultKey("flw.snap.chunks", InjKind.DELAY),
+                    FaultKey("ldr.snap.rpc", InjKind.EXCEPTION),
+                }
+            ),
+            alt_detectable=True,
+        ),
+    ]
+    return spec

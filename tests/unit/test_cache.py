@@ -1,0 +1,214 @@
+"""Tests for the content-addressed experiment cache."""
+
+import argparse
+import json
+
+import pytest
+
+from repro.cache import CACHE_SCHEMA, ExperimentCache, result_affecting_config
+from repro.cli import _cache_dir
+from repro.config import EXECUTION_ONLY_KNOBS, CSnakeConfig
+from repro.instrument.plan import InjectionPlan
+from repro.instrument.trace import RunGroup, RunTrace
+from repro.pipeline import Pipeline
+from repro.systems import get_system
+from repro.types import FaultKey, InjKind
+
+SMOKE = dict(repeats=2, delay_values_ms=(2000.0,), seed=7, budget_per_fault=2)
+
+FAULT = FaultKey("toy.server.process_batch", InjKind.DELAY)
+PLANS = [InjectionPlan(FAULT, delay_ms=2000.0)]
+
+
+def _campaign(cache_root):
+    config = CSnakeConfig(cache_dir=str(cache_root), **SMOKE)
+    return Pipeline.default(get_system("toy"), config).run()
+
+
+def _fingerprint(ctx):
+    from repro.serialize import edge_to_obj
+
+    return {
+        "report": ctx.get("report").to_dict(),
+        "edges": [edge_to_obj(e) for e in ctx.driver.edges.all_edges()],
+        "runs": ctx.driver.runs_executed,
+        "experiments": ctx.driver.experiments_run,
+    }
+
+
+def test_cold_campaign_fills_warm_campaign_replays(tmp_path, monkeypatch):
+    root = tmp_path / "cache"
+    cold = _campaign(root)
+    stats = cold.driver.cache.stats()
+    assert stats["hits"] == 0
+    assert stats["misses"] > 0
+    assert stats["stores"] == stats["misses"]
+    assert len(cold.driver.cache) == stats["stores"]
+
+    # The warm campaign must never simulate: every profile group and every
+    # experiment comes out of the store.
+    import repro.core.driver as driver_mod
+
+    def _boom(*_a, **_k):  # pragma: no cover - failure path
+        raise AssertionError("simulated a run despite a fully warm cache")
+
+    monkeypatch.setattr(driver_mod, "run_workload", _boom)
+    warm = _campaign(root)
+    warm_stats = warm.driver.cache.stats()
+    assert warm_stats["hits"] == stats["stores"]
+    assert warm_stats["misses"] == 0
+    assert warm_stats["stores"] == 0
+    assert _fingerprint(warm) == _fingerprint(cold)
+
+
+def test_execution_only_knobs_do_not_change_keys(tmp_path):
+    spec = get_system("toy")
+    base = ExperimentCache(tmp_path, spec, CSnakeConfig(seed=1))
+    tweaked = ExperimentCache(
+        tmp_path,
+        spec,
+        CSnakeConfig(
+            seed=1,
+            experiment_workers=8,
+            experiment_backend="process",
+            beam_workers=4,
+            cache_dir=str(tmp_path),
+        ),
+    )
+    assert base.experiment_key("t", FAULT, PLANS) == tweaked.experiment_key("t", FAULT, PLANS)
+    assert base.profile_key("t") == tweaked.profile_key("t")
+    for knob in EXECUTION_ONLY_KNOBS:
+        assert knob not in result_affecting_config(CSnakeConfig())
+
+
+def test_result_affecting_changes_miss(tmp_path):
+    spec = get_system("toy")
+    a = ExperimentCache(tmp_path, spec, CSnakeConfig(seed=1))
+    b = ExperimentCache(tmp_path, spec, CSnakeConfig(seed=2))
+    c = ExperimentCache(tmp_path, spec, CSnakeConfig(seed=1, repeats=3))
+    keys = {x.experiment_key("t", FAULT, PLANS) for x in (a, b, c)}
+    assert len(keys) == 3
+    # A different plan sweep is a different experiment.
+    other_plans = [InjectionPlan(FAULT, delay_ms=100.0)]
+    assert a.experiment_key("t", FAULT, PLANS) != a.experiment_key("t", FAULT, other_plans)
+
+
+def test_spec_structure_and_version_invalidate(tmp_path):
+    config = CSnakeConfig(seed=1)
+    spec = get_system("toy")
+    same = ExperimentCache(tmp_path, get_system("toy"), config)
+    base = ExperimentCache(tmp_path, spec, config)
+    assert base.experiment_key("t", FAULT, PLANS) == same.experiment_key("t", FAULT, PLANS)
+
+    bumped_spec = get_system("toy")
+    bumped_spec.version = "bumped"
+    bumped = ExperimentCache(tmp_path, bumped_spec, config)
+    assert bumped.experiment_key("t", FAULT, PLANS) != base.experiment_key("t", FAULT, PLANS)
+
+    # Build an independent registry (the bundled toy spec shares one
+    # module-level registry instance) and grow it by one site.
+    from repro.systems.base import SystemSpec
+    from repro.systems.toy import build_registry
+
+    grown_registry = build_registry()
+    grown_registry.loop("toy.new.loop", "ToyServer.new_method")
+    grown_spec = SystemSpec(name="toy", registry=grown_registry, workloads=spec.workloads)
+    grown = ExperimentCache(tmp_path, grown_spec, config)
+    assert grown.experiment_key("t", FAULT, PLANS) != base.experiment_key("t", FAULT, PLANS)
+
+
+def test_workload_sim_config_participates_in_digest(tmp_path):
+    """sim_config feeds SimEnv directly, so editing it must invalidate."""
+    from repro.config import SimConfig
+
+    config = CSnakeConfig(seed=1)
+    spec = get_system("toy")
+    base_key = ExperimentCache(tmp_path, spec, config).experiment_key("t", FAULT, PLANS)
+    tweaked = get_system("toy")
+    first = tweaked.workload_ids()[0]
+    tweaked.workloads[first].sim_config = SimConfig(rpc_timeout_ms=5_000.0)
+    tweaked_key = ExperimentCache(tmp_path, tweaked, config).experiment_key("t", FAULT, PLANS)
+    assert tweaked_key != base_key
+
+
+def test_bench_refuses_prepopulated_cache_dir(tmp_path):
+    """The serial bench reference must run cold: a warm store would void
+    the speedup columns and the --check regression gate."""
+    from repro.bench.campaign import bench_campaign
+    from repro.errors import ReproError
+
+    root = tmp_path / "bench-cache"
+    entry = root / "ab"
+    entry.mkdir(parents=True)
+    (entry / "ab123.json").write_text("{}")
+    with pytest.raises(ReproError):
+        bench_campaign(smoke=True, backends=("serial",), cache_dir=str(root))
+
+
+def test_corrupt_and_mismatched_entries_read_as_misses(tmp_path):
+    spec = get_system("toy")
+    cache = ExperimentCache(tmp_path, spec, CSnakeConfig(seed=1))
+    group = RunGroup(test_id="t", injection=None)
+    group.add(RunTrace(test_id="t", seed=3))
+    key = cache.profile_key("t")
+    cache.store_profile(key, "t", group)
+    assert cache.lookup_profile(key) == group
+
+    # Truncated JSON.
+    path = cache._path(key)
+    path.write_text("{not json")
+    before = (cache.hits, cache.misses)
+    assert cache.lookup_profile(key) is None
+    assert (cache.hits, cache.misses) == (before[0], before[1] + 1)
+
+    # Wrong kind: an experiment lookup must not deserialize a profile entry.
+    cache.store_profile(key, "t", group)
+    assert cache.lookup_experiment(key) is None
+
+    # Wrong schema version.
+    payload = json.loads(path.read_text())
+    payload["schema"] = CACHE_SCHEMA + 1
+    path.write_text(json.dumps(payload))
+    assert cache.lookup_profile(key) is None
+
+
+def test_experiment_roundtrip_preserves_runs_counter(tmp_path):
+    from repro.core.fca import FcaResult
+
+    spec = get_system("toy")
+    cache = ExperimentCache(tmp_path, spec, CSnakeConfig(seed=1))
+    result = FcaResult(fault=FAULT, test_id="t", interference=[FAULT])
+    key = cache.experiment_key("t", FAULT, PLANS)
+    cache.store_experiment(key, "t", FAULT, result, runs=14)
+    loaded, runs = cache.lookup_experiment(key)
+    assert runs == 14
+    assert loaded.fault == result.fault
+    assert loaded.interference == result.interference
+
+
+def test_cli_cache_dir_resolution():
+    def ns(**kw):
+        base = dict(cache=False, cache_dir=None, no_cache=False, session_dir=None)
+        base.update(kw)
+        return argparse.Namespace(**base)
+
+    assert _cache_dir(ns()) is None
+    assert _cache_dir(ns(cache_dir="/x")) == "/x"
+    assert _cache_dir(ns(cache=True)) == ".repro-cache"
+    assert _cache_dir(ns(cache=True, session_dir="/s")).endswith("cache")
+    assert _cache_dir(ns(cache=True, cache_dir="/x", no_cache=True)) is None
+
+
+def test_resume_may_override_cache_dir(tmp_path):
+    """cache_dir is an execution-only knob: attaching a session with a
+    different cache location must not raise a session mismatch."""
+    from repro.pipeline import Session
+
+    config = CSnakeConfig(cache_dir=str(tmp_path / "a"), **SMOKE)
+    Session.attach(tmp_path / "s", "toy", config)
+    reopened = Session.attach(
+        tmp_path / "s", "toy", CSnakeConfig(cache_dir=str(tmp_path / "b"), **SMOKE)
+    )
+    assert reopened.system == "toy"
+    with pytest.raises(Exception):
+        Session.attach(tmp_path / "s", "toy", CSnakeConfig(seed=999, **{k: v for k, v in SMOKE.items() if k != "seed"}))

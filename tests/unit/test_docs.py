@@ -1,0 +1,80 @@
+"""Docs anti-rot tests: the CLI reference must cover every argparse
+subcommand and flag, relative markdown links must resolve, and the
+tutorial's sample output must match what ``repro list`` actually prints.
+"""
+
+import argparse
+import re
+from pathlib import Path
+
+from repro.cli import build_parser, main
+
+REPO = Path(__file__).resolve().parents[2]
+DOCS = REPO / "docs"
+
+EXPECTED_PAGES = ("architecture.md", "cli.md", "fault-model.md", "adding-a-system.md")
+
+
+def _subcommands():
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action.choices
+    raise AssertionError("repro parser has no subcommands")
+
+
+def test_docs_tree_exists_and_is_linked_from_readme():
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    for page in EXPECTED_PAGES:
+        assert (DOCS / page).is_file(), page
+    # Every docs page — expected or later-added — must be discoverable.
+    for page in sorted(DOCS.glob("*.md")):
+        assert "docs/%s" % page.name in readme, "README does not link docs/%s" % page.name
+
+
+def test_cli_doc_covers_every_subcommand_and_flag():
+    text = (DOCS / "cli.md").read_text(encoding="utf-8")
+    subcommands = _subcommands()
+    assert subcommands, "no subcommands to document?"
+    for name, sub in subcommands.items():
+        assert "repro %s" % name in text, "docs/cli.md misses subcommand %r" % name
+        for action in sub._actions:
+            if action.help == argparse.SUPPRESS:
+                continue  # hidden legacy aliases stay undocumented
+            for opt in action.option_strings:
+                if opt in ("-h", "--help") or not opt.startswith("--"):
+                    continue
+                assert opt in text, "docs/cli.md misses %s of 'repro %s'" % (opt, name)
+
+
+def _markdown_files():
+    return [REPO / "README.md", REPO / "DESIGN.md"] + sorted(DOCS.glob("*.md"))
+
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def test_relative_markdown_links_resolve():
+    for md in _markdown_files():
+        for target in LINK_RE.findall(md.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            assert (md.parent / path).exists(), "%s links to missing %s" % (
+                md.relative_to(REPO),
+                target,
+            )
+
+
+def test_tutorial_list_output_matches_reality(capsys):
+    """docs/cli.md and docs/adding-a-system.md embed ``repro list`` output;
+    it must match what the command actually prints."""
+    assert main(["list"]) == 0
+    actual = capsys.readouterr().out.splitlines()
+    cli_doc = (DOCS / "cli.md").read_text(encoding="utf-8")
+    tutorial = (DOCS / "adding-a-system.md").read_text(encoding="utf-8")
+    assert actual, "repro list printed nothing"
+    for line in actual:
+        assert line.rstrip() in cli_doc, "docs/cli.md list sample is stale: %r" % line
+    raft_line = next(line for line in actual if line.startswith("miniraft"))
+    assert raft_line.rstrip() in tutorial, "adding-a-system.md miniraft sample is stale"

@@ -1,0 +1,100 @@
+"""Unit tests for the MiniRaft consensus target."""
+
+import pytest
+
+from repro.config import CSnakeConfig
+from repro.core.driver import ExperimentDriver, _seed_for, run_workload
+from repro.instrument.analyzer import analyze
+from repro.pipeline import Pipeline
+from repro.systems import get_system
+from repro.types import FaultKey, InjKind
+
+#: Reduced configuration used by every campaign-shaped test here (and by
+#: CI's warm-cache smoke): seconds, not minutes.
+SMOKE = dict(repeats=2, delay_values_ms=(500.0, 8000.0), seed=7, budget_per_fault=2)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_system("miniraft")
+
+
+def test_registry_and_ground_truth(spec):
+    assert len(spec.registry) == 24
+    assert len(spec.workloads) == 7
+    assert [b.bug_id for b in spec.known_bugs] == ["RAFT-1", "RAFT-2", "RAFT-3", "RAFT-4"]
+    for bug in spec.known_bugs:
+        for fault in bug.core_faults:
+            assert fault.site_id in spec.registry, bug.bug_id
+
+
+def test_fault_space_excludes_filtered_sites(spec):
+    result = analyze(spec.registry)
+    selected = {f.site_id for f in result.faults}
+    assert "ldr.metrics.flush" not in selected  # constant bound
+    assert "flw.conf.is_voter" not in selected  # final-only detector
+    assert "raft.sec.cert_check" not in selected  # security-related
+    assert "flw.append.apply" in selected
+    assert "ldr.quorum.has" in selected
+
+
+def test_profiles_deterministic_and_fault_free(spec):
+    """Fault-free runs are reproducible and counterfactually clean: none of
+    the detector/exception faults the seeded bugs rely on occur naturally."""
+    bug_faults = set()
+    for bug in spec.known_bugs:
+        bug_faults |= set(bug.core_faults)
+    for test_id in spec.workload_ids():
+        wl = spec.workloads[test_id]
+        a = run_workload(spec, wl, None, _seed_for(test_id, 0, 99))
+        b = run_workload(spec, wl, None, _seed_for(test_id, 0, 99))
+        assert a.loop_counts == b.loop_counts, test_id
+        assert not a.saturated, test_id
+        assert not (a.natural_faults() & bug_faults), test_id
+
+
+def test_bug_core_faults_reachable_somewhere(spec):
+    reached = set()
+    for test_id in spec.workload_ids():
+        wl = spec.workloads[test_id]
+        reached |= run_workload(spec, wl, None, _seed_for(test_id, 0, 7)).reached
+    for bug in spec.known_bugs:
+        for fault in bug.core_faults:
+            assert fault.site_id in reached, (bug.bug_id, fault.site_id)
+
+
+def test_scripted_handover_elects_node1(spec):
+    """The elections workload's scripted hand-over reaches the vote path in
+    profile runs without tripping the election-timeout detector."""
+    trace = run_workload(
+        spec, spec.workloads["raft.elections"], None, _seed_for("raft.elections", 0, 7)
+    )
+    assert "cand.vote.requests" in trace.reached
+    assert "cand.vote.rpc" in trace.reached
+    assert FaultKey("flw.election.timed_out", InjKind.NEGATION) not in trace.natural_faults()
+
+
+@pytest.mark.parametrize(
+    "fault,test_id,expected",
+    [
+        # RAFT-1: lost AppendEntries ack -> resend window -> apply growth.
+        (FaultKey("ldr.append.rpc", InjKind.EXCEPTION), "raft.resend",
+         FaultKey("flw.append.apply", InjKind.DELAY)),
+        # RAFT-3: negated quorum detector -> resync storm -> apply growth.
+        (FaultKey("ldr.quorum.has", InjKind.NEGATION), "raft.quorum",
+         FaultKey("flw.append.apply", InjKind.DELAY)),
+        # RAFT-4: lost InstallSnapshot ack -> transfer restarts from chunk 0.
+        (FaultKey("ldr.snap.rpc", InjKind.EXCEPTION), "raft.snapshot",
+         FaultKey("flw.snap.chunks", InjKind.DELAY)),
+    ],
+)
+def test_seeded_feedback_paths_fire(spec, fault, test_id, expected):
+    driver = ExperimentDriver(spec, CSnakeConfig(**SMOKE))
+    result = driver.run_experiment(fault, test_id)
+    assert expected in result.interference
+
+
+def test_smoke_campaign_detects_a_seeded_bug(spec):
+    ctx = Pipeline.default(spec, CSnakeConfig(**SMOKE)).run()
+    report = ctx.get("report")
+    assert report.detected_bugs, "no seeded miniraft bug detected"
