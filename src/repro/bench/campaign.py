@@ -129,6 +129,8 @@ def bench_campaign(
     smoke: bool = False,
     overhead: bool = True,
     cache_dir: Optional[str] = None,
+    fault_kinds: Optional[Sequence[str]] = None,
+    sweep_overrides: Optional[Sequence] = None,
 ) -> Dict[str, Any]:
     """Benchmark one system's campaign across executor backends.
 
@@ -148,6 +150,15 @@ def bench_campaign(
     else:
         system = system or "minihdfs2"
         config = bench_config(system)
+    if fault_kinds is not None or sweep_overrides is not None:
+        import dataclasses
+
+        overrides: Dict[str, Any] = {}
+        if fault_kinds is not None:
+            overrides["fault_kinds"] = tuple(fault_kinds)
+        if sweep_overrides is not None:
+            overrides["sweep_overrides"] = tuple(sweep_overrides)
+        config = dataclasses.replace(config, **overrides)
     if cache_dir is not None:
         import dataclasses
         from pathlib import Path

@@ -34,6 +34,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .config import EXECUTION_ONLY_KNOBS, CSnakeConfig
 from .core.fca import FcaResult
+from .faults import fault_models_digest
 from .instrument.plan import InjectionPlan
 from .instrument.trace import RunGroup
 from .serialize import (
@@ -50,7 +51,13 @@ from .types import FaultKey
 
 #: Bump when the entry layout or any codec changes incompatibly; old
 #: entries then read as misses instead of corrupt results.
-CACHE_SCHEMA = 1
+#:
+#: Schema history:
+#:   1 — PR 4 layout (closed three-kind fault taxonomy).
+#:   2 — pluggable fault models: plan payloads grew a ``params`` codec,
+#:       ``SystemSpec.digest`` covers environment sites, and every key
+#:       embeds the fault-model registry digest.
+CACHE_SCHEMA = 2
 
 
 def result_affecting_config(config: CSnakeConfig) -> Dict[str, Any]:
@@ -80,6 +87,7 @@ class ExperimentCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.system = spec.name
         self.spec_digest = spec.digest()
+        self.models_digest = fault_models_digest()
         self.config_snapshot = result_affecting_config(config)
         self.hits = 0
         self.misses = 0
@@ -93,6 +101,10 @@ class ExperimentCache:
             "kind": kind,
             "system": self.system,
             "spec": self.spec_digest,
+            # Registry fingerprint: registering or revising a fault model
+            # shifts every key, so results computed under a different
+            # fault vocabulary can never replay as hits.
+            "fault_models": self.models_digest,
             "config": self.config_snapshot,
         }
         material.update(payload)

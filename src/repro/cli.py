@@ -27,6 +27,7 @@ from .config import CSnakeConfig
 from .core.driver import ExperimentDriver
 from .core.report import DetectionReport
 from .errors import ReproError
+from .faults import all_models, expand_kinds, registered_kinds
 from .pipeline import (
     BACKENDS,
     STAGE_NAMES,
@@ -36,7 +37,7 @@ from .pipeline import (
     default_stages,
 )
 from .systems import available_systems, get_system
-from .types import FaultKey, InjKind
+from .types import FaultKey, InjKind, SiteKind
 
 
 def _parse_fault(text: str) -> FaultKey:
@@ -45,7 +46,8 @@ def _parse_fault(text: str) -> FaultKey:
         return FaultKey(site, InjKind(kind))
     except ValueError:
         raise SystemExit(
-            "fault must look like '<site>:<delay|exception|negation>', got %r" % text
+            "fault must look like '<site>:<kind>' with kind one of %s, got %r"
+            % ("|".join(registered_kinds()), text)
         )
 
 
@@ -57,6 +59,34 @@ def _parse_delays(text: str) -> tuple:
     if not values:
         raise SystemExit("--delays needs at least one value")
     return values
+
+
+def _parse_fault_kinds(text: str) -> tuple:
+    try:
+        return expand_kinds(text)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _parse_sweeps(entries: List[str]) -> tuple:
+    """``--sweep KIND=V1,V2,...`` entries -> config ``sweep_overrides``."""
+    overrides = []
+    for entry in entries:
+        kind, eq, values = entry.partition("=")
+        kind = kind.strip()
+        if not eq or kind not in registered_kinds():
+            raise SystemExit(
+                "--sweep must look like '<kind>=V1,V2,...' with kind one of %s, got %r"
+                % (", ".join(registered_kinds()), entry)
+            )
+        try:
+            parsed = tuple(float(v) for v in values.split(",") if v.strip())
+        except ValueError:
+            raise SystemExit("--sweep %s values must be numbers, got %r" % (kind, values))
+        if not parsed:
+            raise SystemExit("--sweep %s needs at least one value" % kind)
+        overrides.append((kind, parsed))
+    return tuple(overrides)
 
 
 def _parse_stages(text: str) -> List[str]:
@@ -82,6 +112,10 @@ def _config(args: argparse.Namespace) -> CSnakeConfig:
         params["repeats"] = args.repeats
     if getattr(args, "delays", None) is not None:
         params["delay_values_ms"] = _parse_delays(args.delays)
+    if getattr(args, "fault_kinds", None) is not None:
+        params["fault_kinds"] = _parse_fault_kinds(args.fault_kinds)
+    if getattr(args, "sweep", None):
+        params["sweep_overrides"] = _parse_sweeps(args.sweep)
     workers = getattr(args, "workers", None)
     if workers is None:
         workers = getattr(args, "parallel", None)  # legacy alias
@@ -196,8 +230,8 @@ def cmd_list(_args: argparse.Namespace) -> int:
         counts = spec.registry.counts()
         bug_ids = ", ".join(b.bug_id for b in spec.known_bugs) or "-"
         print(
-            "%-12s %3d sites (%d loops, %d throws, %d detectors, %d branches), "
-            "%2d tests, bugs: %s"
+            "%-12s %3d sites (%d loops, %d throws, %d detectors, %d branches, "
+            "%d env), %2d tests, bugs: %s"
             % (
                 name,
                 len(spec.registry),
@@ -205,10 +239,44 @@ def cmd_list(_args: argparse.Namespace) -> int:
                 counts["throw"] + counts["lib_call"],
                 counts["detector"],
                 counts["branch"],
+                counts["env_node"] + counts["env_link"],
                 len(spec.workloads),
                 bug_ids,
             )
         )
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """List registered fault models and per-system environment sites."""
+    config = CSnakeConfig()
+    print("registered fault models:")
+    for model in all_models():
+        targets = ",".join(k.value for k in model.site_kinds)
+        sweep = model.sweep_spec(config)
+        if sweep:
+            knobs = "; ".join(
+                "%s: %s" % (name, ",".join("%g" % v for v in values))
+                for name, values in sorted(sweep.items())
+            )
+        else:
+            knobs = "single plan"
+        flags = " [env]" if model.environment else ""
+        print(
+            "  %-10s %s  sites: %-18s sweep %s%s"
+            % (model.kind_id, model.char, targets, knobs, flags)
+        )
+    systems = [args.system] if args.system else available_systems()
+    print("injectable environment sites:")
+    for name in systems:
+        spec = get_system(name)
+        sites = [s.site_id for s in spec.registry.env_sites()]
+        if not sites:
+            print("  %-12s (no EnvFaultPort declared)" % name)
+            continue
+        nodes = [s for s in sites if s.startswith("env.node.")]
+        links = [s for s in sites if s.startswith("env.link.")]
+        print("  %-12s %s" % (name, ", ".join(nodes + links)))
     return 0
 
 
@@ -248,6 +316,17 @@ def cmd_resume(args: argparse.Namespace) -> int:
         # Backend/worker/cache overrides never change results, only where
         # (and whether) the remaining experiments execute.
         config = dataclasses.replace(config, **overrides)
+    result_overrides = {}
+    if getattr(args, "fault_kinds", None) is not None:
+        result_overrides["fault_kinds"] = _parse_fault_kinds(args.fault_kinds)
+    if getattr(args, "sweep", None):
+        result_overrides["sweep_overrides"] = _parse_sweeps(args.sweep)
+    if result_overrides:
+        # Fault kinds and sweeps are result-affecting: they must match what
+        # the session was created with, or the stored artifacts would mix
+        # with a different campaign — verify raises a clear mismatch error.
+        config = dataclasses.replace(config, **result_overrides)
+        session.verify(session.system, config)
     return _run_pipeline(session.system, config, args, session, None)
 
 
@@ -281,6 +360,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         smoke=args.smoke,
         overhead=not args.no_overhead,
         cache_dir=_cache_dir(args),
+        fault_kinds=_parse_fault_kinds(args.fault_kinds) if args.fault_kinds else None,
+        sweep_overrides=_parse_sweeps(args.sweep) if args.sweep else None,
     )
     write_bench_json(result, args.out)
     for backend in backends:
@@ -368,7 +449,29 @@ def _add_experiment_flags(parser: argparse.ArgumentParser) -> None:
         "--delays",
         default=None,
         metavar="MS,MS,...",
-        help="delay sweep in virtual ms (default: the paper's 7-point sweep)",
+        help="delay sweep in virtual ms (default: the paper's 7-point sweep); "
+        "shorthand for --sweep delay=MS,MS,...",
+    )
+    _add_fault_flags(parser)
+
+
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    """Fault-kind selection and sweep grammar (run/resume/bench)."""
+    parser.add_argument(
+        "--fault-kinds",
+        default=None,
+        metavar="K,K,...|all|classic",
+        help="fault kinds to inject, by registered model id "
+        "(default: classic = exception,delay,negation; all additionally "
+        "enables the environment kinds — see 'repro faults')",
+    )
+    parser.add_argument(
+        "--sweep",
+        action="append",
+        default=None,
+        metavar="KIND=V1,V2,...",
+        help="override one fault kind's parameter sweep (repeatable), e.g. "
+        "--sweep partition=10000,30000 --sweep msg_drop=0.5",
     )
 
 
@@ -385,6 +488,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list bundled target systems")
+
+    faults = sub.add_parser(
+        "faults",
+        help="list registered fault models, their parameter sweeps, and "
+        "per-system injectable environment sites",
+    )
+    faults.add_argument(
+        "--system", choices=available_systems(), default=None,
+        help="show environment sites of this system only",
+    )
 
     run = sub.add_parser("run", help="run the detection pipeline")
     run.add_argument("system", choices=available_systems())
@@ -406,6 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
     resume = sub.add_parser("resume", help="resume an interrupted --session-dir run")
     resume.add_argument("session_dir", metavar="DIR")
     _add_backend_flags(resume)
+    _add_fault_flags(resume)  # must match the session; verified, not overridden
     _add_cache_flags(resume)
     _add_output_flags(resume)
 
@@ -438,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-overhead", action="store_true",
         help="skip the instrumentation-overhead measurement",
     )
+    _add_fault_flags(bench)
     _add_cache_flags(bench, bare=False)
     bench.add_argument(
         "--out", default="BENCH_campaign.json", metavar="FILE",
@@ -458,6 +573,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "list": cmd_list,
+        "faults": cmd_faults,
         "run": cmd_run,
         "resume": cmd_resume,
         "inject": cmd_inject,

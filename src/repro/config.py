@@ -31,6 +31,17 @@ DELAY_VALUES_MS: Tuple[float, ...] = (100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.
 #: select this (or any other) sweep explicitly.
 FAST_DELAY_VALUES_MS: Tuple[float, ...] = (250.0, 1000.0, 8000.0)
 
+#: Restart-delay sweep of the ``node_crash`` environment fault model:
+#: a quick crash-recover bounce and a long outage, in virtual ms.
+CRASH_RESTART_VALUES_MS: Tuple[float, ...] = (10_000.0, 40_000.0)
+
+#: Duration sweep of the ``partition`` environment fault model: one cut
+#: shorter and one longer than the reduced 10-20 s timeouts (§4.2).
+PARTITION_VALUES_MS: Tuple[float, ...] = (15_000.0, 45_000.0)
+
+#: Probability sweep of the ``msg_drop`` environment fault model.
+DROP_PROB_VALUES: Tuple[float, ...] = (0.3, 0.7)
+
 #: Number of repetitions of every profile and injection run (§4.3).
 DEFAULT_REPEATS = 5
 
@@ -59,6 +70,20 @@ class CSnakeConfig:
     p_value: float = DEFAULT_PVALUE
     budget_per_fault: int = DEFAULT_BUDGET_PER_FAULT
     delay_values_ms: Tuple[float, ...] = DELAY_VALUES_MS
+    #: Fault kinds this campaign injects, by registered fault-model id
+    #: (``repro.faults``).  Defaults to the paper's closed taxonomy;
+    #: ``--fault-kinds all`` additionally enables the environment kinds
+    #: (node_crash, partition, msg_drop) on systems that declare an
+    #: :class:`~repro.faults.EnvFaultPort`.
+    fault_kinds: Tuple[str, ...] = ("exception", "delay", "negation")
+    #: Per-kind sweep overrides: ``(("partition", (10_000.0,)), ...)``
+    #: replaces the named fault model's default parameter sweep.  The
+    #: ``--delays`` flag is shorthand for overriding the ``delay`` sweep.
+    sweep_overrides: Tuple[Tuple[str, Tuple[float, ...]], ...] = ()
+    #: Default parameter sweeps of the environment fault models.
+    crash_restart_values_ms: Tuple[float, ...] = CRASH_RESTART_VALUES_MS
+    partition_values_ms: Tuple[float, ...] = PARTITION_VALUES_MS
+    drop_prob_values: Tuple[float, ...] = DROP_PROB_VALUES
     #: Fraction of injection runs in which a point fault (exception or
     #: negation) must appear — while appearing in no profile run — to count
     #: as an additional fault.  The paper uses "any additional fault" with
@@ -118,6 +143,7 @@ class CSnakeConfig:
             raise ConfigError("delay_values_ms must be non-empty")
         if any(not math.isfinite(v) or v <= 0 for v in self.delay_values_ms):
             raise ConfigError("delay values must be finite and positive (virtual ms)")
+        self._validate_fault_kinds()
         if self.beam_width < 1:
             raise ConfigError("beam_width must be positive")
         if self.max_chain_len < 2:
@@ -130,19 +156,78 @@ class CSnakeConfig:
                 % (self.experiment_backend,)
             )
 
+    def _validate_fault_kinds(self) -> None:
+        if not self.fault_kinds:
+            raise ConfigError("fault_kinds must name at least one fault kind")
+        from . import faults  # deferred: faults never imports config
+
+        registered = set(faults.registered_kinds())
+        unknown = [k for k in self.fault_kinds if k not in registered]
+        if unknown:
+            raise ConfigError(
+                "unknown fault kind(s) %s; registered: %s"
+                % (", ".join(unknown), ", ".join(sorted(registered)))
+            )
+        for kind, values in self.sweep_overrides:
+            if kind not in registered:
+                raise ConfigError("sweep override names unknown fault kind %r" % (kind,))
+            if not values:
+                raise ConfigError("sweep override for %r needs at least one value" % (kind,))
+            try:
+                # Model-owned range rules (e.g. drop probabilities in
+                # (0, 1]): fail at config time, not mid-campaign.
+                faults.model_for(kind).validate_sweep(tuple(values))
+            except ValueError as exc:
+                raise ConfigError(str(exc)) from exc
+        for values in (
+            self.crash_restart_values_ms,
+            self.partition_values_ms,
+            self.drop_prob_values,
+        ):
+            if any(not math.isfinite(v) or v < 0 for v in values):
+                raise ConfigError("environment sweep values must be finite and >= 0")
+
+    def sweep_for(self, kind_id: str, default: Tuple[float, ...]) -> Tuple[float, ...]:
+        """The parameter sweep of fault kind ``kind_id``: its per-kind
+        override when one is configured, else ``default``."""
+        for kind, values in self.sweep_overrides:
+            if kind == kind_id:
+                return tuple(values)
+        return tuple(default)
+
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-compatible dump, inverse of :meth:`from_dict`."""
+        """JSON-compatible dump, inverse of :meth:`from_dict`.
+
+        Deeply normalized (tuples become lists at every level) so a dump
+        compares equal to its own JSON round-trip — session-compatibility
+        checks diff these dicts directly.
+        """
         out: Dict[str, Any] = {}
         for f in fields(self):
             value = getattr(self, f.name)
-            out[f.name] = list(value) if isinstance(value, tuple) else value
+            if f.name == "sweep_overrides":
+                value = [[kind, list(values)] for kind, values in value]
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
         return out
 
     @classmethod
     def from_dict(cls, obj: Dict[str, Any]) -> "CSnakeConfig":
         params = dict(obj)
-        if "delay_values_ms" in params:
-            params["delay_values_ms"] = tuple(params["delay_values_ms"])
+        for name in (
+            "delay_values_ms",
+            "fault_kinds",
+            "crash_restart_values_ms",
+            "partition_values_ms",
+            "drop_prob_values",
+        ):
+            if name in params:
+                params[name] = tuple(params[name])
+        if "sweep_overrides" in params:
+            params["sweep_overrides"] = tuple(
+                (kind, tuple(values)) for kind, values in params["sweep_overrides"]
+            )
         return cls(**params)
 
     def phase_budgets(self, n_faults: int) -> Tuple[int, int, int]:

@@ -70,13 +70,26 @@ class Cycle:
         return sum(1 for f in self.injected_faults() if f.kind is InjKind.DELAY)
 
     def signature(self) -> str:
-        """Cycle composition in the paper's Table 3 notation, e.g. ``1D|2E|0N``."""
+        """Cycle composition in the paper's Table 3 notation, e.g. ``1D|2E|0N``.
+
+        Kinds beyond the paper's three (registered fault models — e.g. a
+        partition's ``P``) are appended as extra ``|<count><char>`` parts,
+        so classic cycles keep their historical signatures verbatim.
+        """
         counts = Counter(f.kind for f in self.injected_faults())
-        return "%dD|%dE|%dN" % (
-            counts.get(InjKind.DELAY, 0),
-            counts.get(InjKind.EXCEPTION, 0),
-            counts.get(InjKind.NEGATION, 0),
+        sig = "%dD|%dE|%dN" % (
+            counts.pop(InjKind.DELAY, 0),
+            counts.pop(InjKind.EXCEPTION, 0),
+            counts.pop(InjKind.NEGATION, 0),
         )
+        if counts:
+            from ..faults import model_for  # deferred: faults imports plan
+
+            extras = sorted(
+                (model_for(kind).char, n) for kind, n in counts.items()
+            )
+            sig += "".join("|%d%s" % (n, char) for char, n in extras)
+        return sig
 
     def cluster_signature(self, clustering: Optional[Clustering]) -> Tuple:
         """Multiset of fault clusters involved, for cycle clustering.

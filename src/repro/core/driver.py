@@ -47,12 +47,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 from ..config import CSnakeConfig
 from ..errors import ReproError, UnknownSite
+from ..faults import model_for
 from ..instrument.plan import InjectionPlan
 from ..instrument.runtime import Runtime
 from ..instrument.trace import RunGroup, RunTrace
 from ..sim import SimEnv
 from ..systems.base import SystemSpec, WorkloadSpec
-from ..types import FaultKey, InjKind
+from ..types import FaultKey
 from .edges import EdgeDB
 from .fca import FaultCausalityAnalysis, FcaResult
 
@@ -75,6 +76,11 @@ def run_workload(
     env = SimEnv(workload.sim_config, seed=seed)
     env.runtime = runtime
     runtime.bind_env(env)
+    if plan is not None:
+        # Code-level kinds are armed by the runtime hooks; environment
+        # kinds schedule their disturbance on the sim here (a no-op arm
+        # for the classic models).
+        model_for(plan.fault.kind).arm(env, runtime, plan)
     started = time.perf_counter()
     workload.setup(env, runtime)
     env.run(workload.duration_ms)
@@ -234,7 +240,13 @@ class ExperimentDriver:
     # -------------------------------------------------------------- coverage
 
     def tests_reaching(self, fault: FaultKey) -> List[str]:
-        """Tests whose profile runs reach the fault's program location."""
+        """Tests whose profile runs reach the fault's program location.
+
+        Environment faults have no program location — the simulated world
+        they disturb exists in every run — so every workload reaches them.
+        """
+        if model_for(fault.kind).environment:
+            return self.spec.workload_ids()
         out = []
         for test_id in self.spec.workload_ids():
             if fault.site_id in self.profile(test_id).reached():
@@ -254,15 +266,8 @@ class ExperimentDriver:
     # ----------------------------------------------------------- experiments
 
     def _plans_for(self, fault: FaultKey) -> List[InjectionPlan]:
-        warmup = self.config.injection_warmup_ms
-        if fault.kind is InjKind.DELAY:
-            return [
-                InjectionPlan(fault, delay_ms=value, warmup_ms=warmup)
-                for value in self.config.delay_values_ms
-            ]
-        return [
-            InjectionPlan(fault, sticky=self.config.sticky_negation, warmup_ms=warmup)
-        ]
+        """The fault's plan sweep, as declared by its registered model."""
+        return model_for(fault.kind).plans_for(fault, self.config)
 
     def execute_experiment(self, fault: FaultKey, test_id: str) -> Tuple[FcaResult, int]:
         """Pure execution of one experiment: returns (FCA result, runs used).

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..config import CSnakeConfig
+from ..faults import model_for
 from ..instrument.sites import SiteRegistry
 from ..instrument.trace import RunGroup
 from ..types import CausalEdge, EdgeType, FaultKey, InjKind, SiteKind
@@ -67,7 +68,9 @@ class FaultCausalityAnalysis:
         self, profile: RunGroup, injection: RunGroup, fault: FaultKey, result: FcaResult
     ) -> None:
         """Exceptions and negations present under injection, absent in profile."""
-        etype = EdgeType.E_D if fault.kind is InjKind.DELAY else EdgeType.E_I
+        # Edge family by the *model's* declared source class (Table 1):
+        # delay-like kinds produce E(D)/S+(D) edges, the rest E(I)/S+(I).
+        etype = EdgeType.E_D if model_for(fault.kind).delay_like else EdgeType.E_I
         src_states = injection.injected_states()
         for candidate in sorted(injection.natural_faults()):
             if candidate.kind is InjKind.DELAY:
@@ -97,7 +100,7 @@ class FaultCausalityAnalysis:
         (numpy-vectorized) Welch test instead of one python t-test per
         site — the per-experiment hot path of FCA.
         """
-        etype = EdgeType.SP_D if fault.kind is InjKind.DELAY else EdgeType.SP_I
+        etype = EdgeType.SP_D if model_for(fault.kind).delay_like else EdgeType.SP_I
         src_states = injection.injected_states()
         loop_sites = sorted(injection.loop_sites())
         if not loop_sites:

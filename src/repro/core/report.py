@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..systems.base import KnownBug, SystemSpec
+from ..types import CausalEdge, FaultKey
 from .clustering import Clustering
 from .cycles import Cycle, CycleCluster, cluster_cycles
 
@@ -18,6 +19,7 @@ def _bug_to_obj(bug: KnownBug) -> Dict[str, Any]:
         "description": bug.description,
         "signature": bug.signature,
         "core_faults": sorted(fault_to_obj(f) for f in bug.core_faults),
+        "trigger_faults": sorted(fault_to_obj(f) for f in bug.trigger_faults),
         "alt_detectable": bug.alt_detectable,
         "jira": bug.jira,
     }
@@ -31,6 +33,8 @@ def _bug_from_obj(obj: Dict[str, Any]) -> KnownBug:
         description=obj["description"],
         signature=obj["signature"],
         core_faults=frozenset(fault_from_obj(f) for f in obj["core_faults"]),
+        # .get: reports persisted before trigger faults existed stay readable.
+        trigger_faults=frozenset(fault_from_obj(f) for f in obj.get("trigger_faults", [])),
         alt_detectable=obj["alt_detectable"],
         jira=obj["jira"],
     )
@@ -171,13 +175,38 @@ class DetectionReport:
         )
 
 
-def match_bugs(spec: SystemSpec, cycles: Sequence[Cycle]) -> List[BugMatch]:
-    """Match reported cycles against the system's known bugs."""
+def _trigger_satisfied(
+    bug: KnownBug, cycle: Cycle, edges: Optional[Sequence[CausalEdge]]
+) -> bool:
+    """A trigger-gated bug needs a discovered edge from one of its trigger
+    (environment) faults into the cycle's fault set: the disturbance must
+    actually have been observed feeding this cascade."""
+    if not bug.trigger_faults:
+        return True
+    if not edges:
+        return False
+    targets: frozenset = cycle.fault_set()
+    return any(
+        e.src in bug.trigger_faults and e.dst in targets for e in edges
+    )
+
+
+def match_bugs(
+    spec: SystemSpec,
+    cycles: Sequence[Cycle],
+    edges: Optional[Sequence[CausalEdge]] = None,
+) -> List[BugMatch]:
+    """Match reported cycles against the system's known bugs.
+
+    ``edges`` is the campaign's discovered edge set, consulted for bugs
+    declaring ``trigger_faults`` (without it, trigger-gated bugs read as
+    undetected — e.g. when re-matching a deserialized report).
+    """
     matches = []
     for bug in spec.known_bugs:
         match = BugMatch(bug=bug)
         for cycle in cycles:
-            if bug.matches(cycle):
+            if bug.matches(cycle) and _trigger_satisfied(bug, cycle, edges):
                 match.cycles.append(cycle)
         matches.append(match)
     return matches
@@ -192,6 +221,7 @@ def build_report(
     budget_used: int = 0,
     runs_executed: int = 0,
     n_edges: int = 0,
+    edges: Optional[Sequence[CausalEdge]] = None,
 ) -> DetectionReport:
     report = DetectionReport(
         system=spec.name,
@@ -202,6 +232,6 @@ def build_report(
         n_edges=n_edges,
         cycles=list(cycles),
         cycle_clusters=cluster_cycles(cycles, clustering),
-        bug_matches=match_bugs(spec, cycles),
+        bug_matches=match_bugs(spec, cycles, edges),
     )
     return report

@@ -1,0 +1,84 @@
+"""The paper's three fault kinds, ported onto the FaultModel registry.
+
+Behaviour is bit-identical to the pre-registry enum branches: the plan
+shapes (including the ``sticky`` flag sourced from ``sticky_negation`` and
+the warmup), the sweep expansion, and the serialization layout are exactly
+what ``driver._plans_for`` and ``serialize.plan_to_obj`` hardcoded before.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..types import FaultKey, SiteKind
+from .base import FaultModel
+
+
+class ExceptionFault(FaultModel):
+    """One-time throw at a THROW/LIB_CALL site (§4.2)."""
+
+    kind_id = "exception"
+    char = "E"
+    site_kinds = (SiteKind.THROW, SiteKind.LIB_CALL)
+    primary_site_kinds = (SiteKind.THROW, SiteKind.LIB_CALL)
+
+    def plans_for(self, fault: FaultKey, config) -> List:
+        from ..instrument.plan import InjectionPlan
+
+        return [
+            InjectionPlan(
+                fault,
+                sticky=config.sticky_negation,
+                warmup_ms=config.injection_warmup_ms,
+            )
+        ]
+
+
+class DelayFault(FaultModel):
+    """Per-iteration spinning delay at a LOOP site, swept over the
+    configured delay values (§4.2) — one FCA per value, one budget unit."""
+
+    kind_id = "delay"
+    char = "D"
+    site_kinds = (SiteKind.LOOP,)
+    primary_site_kinds = (SiteKind.LOOP,)
+    delay_like = True
+
+    def sweep_spec(self, config) -> Dict[str, Tuple[float, ...]]:
+        return {"delay_ms": config.sweep_for("delay", config.delay_values_ms)}
+
+    def plans_for(self, fault: FaultKey, config) -> List:
+        from ..instrument.plan import InjectionPlan
+
+        return [
+            InjectionPlan(fault, delay_ms=value, warmup_ms=config.injection_warmup_ms)
+            for value in self.sweep_spec(config)["delay_ms"]
+        ]
+
+    def validate_plan(self, plan) -> None:
+        if plan.delay_ms is None:
+            raise ValueError("delay injection requires delay_ms")
+        if not plan.delay_ms > 0:
+            raise ValueError("delay_ms must be positive, got %r" % (plan.delay_ms,))
+        self._validate_param_names(plan)
+
+
+class NegationFault(FaultModel):
+    """Negated return value at a DETECTOR site — once by default, on every
+    call while armed when ``sticky_negation`` is configured."""
+
+    kind_id = "negation"
+    char = "N"
+    site_kinds = (SiteKind.DETECTOR,)
+    primary_site_kinds = (SiteKind.DETECTOR,)
+
+    def plans_for(self, fault: FaultKey, config) -> List:
+        from ..instrument.plan import InjectionPlan
+
+        return [
+            InjectionPlan(
+                fault,
+                sticky=config.sticky_negation,
+                warmup_ms=config.injection_warmup_ms,
+            )
+        ]

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from ..config import LOOP_SIZE_PRUNE_FRAC
+from ..faults import CLASSIC_FAULT_KINDS
 from ..types import FaultKey, SiteKind
 from .sites import FaultSite, SiteRegistry
 
@@ -40,16 +41,41 @@ class AnalysisResult:
 
 
 class StaticAnalyzer:
-    """Rule-based fault selection over a declared site registry."""
+    """Rule-based fault selection over a declared site registry.
 
-    def __init__(self, registry: SiteRegistry, loop_prune_frac: float = LOOP_SIZE_PRUNE_FRAC) -> None:
+    ``fault_kinds`` names the registered fault models the campaign may
+    inject with (``CSnakeConfig.fault_kinds``); sites whose only models
+    are disabled are excluded with an explanatory reason, exactly like
+    the paper's static filters.
+    """
+
+    def __init__(
+        self,
+        registry: SiteRegistry,
+        loop_prune_frac: float = LOOP_SIZE_PRUNE_FRAC,
+        fault_kinds: Optional[Sequence[str]] = None,
+    ) -> None:
         self.registry = registry
         self.loop_prune_frac = loop_prune_frac
+        self.fault_kinds = (
+            tuple(fault_kinds) if fault_kinds is not None else CLASSIC_FAULT_KINDS
+        )
+
+    def _enabled(self, kind_id: str) -> bool:
+        return kind_id in self.fault_kinds
+
+    def _exclude_kind_disabled(self, result: AnalysisResult, sites: List[FaultSite], kind_id: str) -> None:
+        for site in sites:
+            result.excluded[site.site_id] = "fault kind %r not enabled" % kind_id
 
     # ----------------------------------------------------------- per-kind
 
     def _select_throws(self, result: AnalysisResult) -> None:
-        for site in self.registry.by_kind(SiteKind.THROW) + self.registry.by_kind(SiteKind.LIB_CALL):
+        sites = self.registry.by_kind(SiteKind.THROW) + self.registry.by_kind(SiteKind.LIB_CALL)
+        if not self._enabled("exception"):
+            self._exclude_kind_disabled(result, sites, "exception")
+            return
+        for site in sites:
             meta = site.throw
             assert meta is not None
             if meta.reflection_related:
@@ -63,6 +89,9 @@ class StaticAnalyzer:
 
     def _select_loops(self, result: AnalysisResult) -> None:
         loops = self.registry.loops()
+        if not self._enabled("delay"):
+            self._exclude_kind_disabled(result, loops, "delay")
+            return
         candidates: List[FaultSite] = []
         for site in loops:
             meta = site.loop
@@ -89,7 +118,11 @@ class StaticAnalyzer:
                 result.faults.append(site.fault_key)
 
     def _select_detectors(self, result: AnalysisResult) -> None:
-        for site in self.registry.by_kind(SiteKind.DETECTOR):
+        sites = self.registry.by_kind(SiteKind.DETECTOR)
+        if not self._enabled("negation"):
+            self._exclude_kind_disabled(result, sites, "negation")
+            return
+        for site in sites:
             meta = site.detector
             assert meta is not None
             if meta.final_only:
@@ -103,6 +136,16 @@ class StaticAnalyzer:
             else:
                 result.faults.append(site.fault_key)
 
+    def _select_env(self, result: AnalysisResult) -> None:
+        """Environment sites: one fault key per enabled model targeting the
+        site kind (a link site hosts partition *and* msg_drop faults)."""
+        for site in self.registry.env_sites():
+            keys = [k for k in site.fault_keys() if self._enabled(k.kind.value)]
+            if not keys:
+                result.excluded[site.site_id] = "environment fault kinds not enabled"
+                continue
+            result.faults.extend(keys)
+
     # -------------------------------------------------------------- driver
 
     def analyze(self) -> AnalysisResult:
@@ -110,6 +153,7 @@ class StaticAnalyzer:
         self._select_throws(result)
         self._select_loops(result)
         self._select_detectors(result)
+        self._select_env(result)
         result.faults.sort()
         result.counts = self.registry.counts()
         result.counts["injectable"] = len(result.faults)
@@ -117,6 +161,9 @@ class StaticAnalyzer:
         return result
 
 
-def analyze(registry: SiteRegistry) -> AnalysisResult:
-    """Convenience wrapper: run the static analyzer with default settings."""
-    return StaticAnalyzer(registry).analyze()
+def analyze(
+    registry: SiteRegistry, fault_kinds: Optional[Sequence[str]] = None
+) -> AnalysisResult:
+    """Convenience wrapper: run the static analyzer with default settings
+    (``fault_kinds`` defaults to the paper's classic taxonomy)."""
+    return StaticAnalyzer(registry, fault_kinds=fault_kinds).analyze()

@@ -1,11 +1,22 @@
-"""Injection plans: what the runtime agent arms for one run."""
+"""Injection plans: what the runtime agent (or the sim) arms for one run."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional, Tuple
 
 from ..types import FaultKey, InjKind
+
+#: Generic per-model parameters of a plan, as a sorted, hashable tuple of
+#: (name, value) pairs — e.g. ``(("duration_ms", 15000.0),)`` for a
+#: partition fault.  The classic kinds keep their dedicated fields
+#: (``delay_ms``, ``sticky``) for ergonomics and serialization stability.
+PlanParams = Tuple[Tuple[str, Any], ...]
+
+
+def make_params(**values: Any) -> PlanParams:
+    """Normalize keyword parameters into the canonical sorted tuple form."""
+    return tuple(sorted(values.items()))
 
 
 @dataclass(frozen=True)
@@ -18,6 +29,13 @@ class InjectionPlan:
       the target loop.
     * ``NEGATION``: the detector's return value is negated — on every call
       while armed if ``sticky`` (default, a stuck error detector), else once.
+    * environment kinds (``node_crash`` / ``partition`` / ``msg_drop``):
+      armed against the simulation environment instead of a code hook,
+      with their model-specific knobs carried in ``params``.
+
+    Validation is delegated to the fault's registered
+    :class:`~repro.faults.FaultModel`, so a new fault kind brings its own
+    plan-shape rules instead of growing branches here.
     """
 
     fault: FaultKey
@@ -27,18 +45,31 @@ class InjectionPlan:
     #: fault into a cold, empty system exercises nothing (§2's "different
     #: time points" — we pick a warmed-up one).
     warmup_ms: float = 0.0
+    #: Model-specific parameters (sorted (name, value) pairs).
+    params: PlanParams = ()
 
     def __post_init__(self) -> None:
-        if self.fault.kind is InjKind.DELAY and not self.delay_ms:
-            raise ValueError("delay injection requires delay_ms")
-        if self.fault.kind is not InjKind.DELAY and self.delay_ms:
-            raise ValueError("delay_ms only applies to delay injection")
+        if self.params and tuple(sorted(self.params)) != self.params:
+            object.__setattr__(self, "params", tuple(sorted(self.params)))
+        from ..faults import model_for  # deferred: faults builds plans
+
+        model_for(self.fault.kind).validate_plan(self)
 
     @property
     def site_id(self) -> str:
         return self.fault.site_id
 
+    def param(self, name: str, default: Any = None) -> Any:
+        """Value of one model-specific parameter."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         if self.fault.kind is InjKind.DELAY:
             return "%s(%.0fms)" % (self.fault, self.delay_ms or 0.0)
+        if self.params:
+            knobs = ",".join("%s=%g" % (k, v) for k, v in self.params)
+            return "%s(%s)" % (self.fault, knobs)
         return str(self.fault)

@@ -8,6 +8,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from ..errors import UnknownSite
 from ..types import (
     DetectorMeta,
+    EnvMeta,
     FaultKey,
     LoopMeta,
     SiteKind,
@@ -18,7 +19,12 @@ from ..types import (
 
 @dataclass(frozen=True)
 class FaultSite:
-    """One instrumented program location of a target system."""
+    """One instrumented program location of a target system.
+
+    Environment sites (``ENV_NODE`` / ``ENV_LINK``) name a piece of the
+    simulated world instead of a code location; their ``function`` is the
+    synthetic ``"<environment>"``.
+    """
 
     site_id: str
     kind: SiteKind
@@ -27,6 +33,7 @@ class FaultSite:
     loop: Optional[LoopMeta] = None
     detector: Optional[DetectorMeta] = None
     throw: Optional[ThrowMeta] = None
+    env: Optional[EnvMeta] = None
 
     def __post_init__(self) -> None:
         if self.kind is SiteKind.LOOP and self.loop is None:
@@ -38,7 +45,19 @@ class FaultSite:
 
     @property
     def fault_key(self) -> FaultKey:
+        """The site's *primary* fault key (see :meth:`fault_keys`)."""
         return FaultKey(self.site_id, inj_kind_for_site(self.kind))
+
+    def fault_keys(self) -> List[FaultKey]:
+        """Every fault key injectable here, one per registered fault model
+        targeting this site kind — a link site, for example, hosts both
+        partition and message-drop faults."""
+        from ..faults import models_for_site_kind  # deferred: faults import plan
+
+        return [
+            FaultKey(self.site_id, model.kind)
+            for model in models_for_site_kind(self.kind)
+        ]
 
 
 class SiteInterner:
@@ -156,6 +175,29 @@ class SiteRegistry:
 
     def branch(self, site_id: str, function: str) -> str:
         return self._add(FaultSite(site_id, SiteKind.BRANCH, self.system, function))
+
+    def env_node(self, site_id: str, node: str) -> str:
+        """Environment site: one crashable cluster node (by ``Node.name``)."""
+        return self._add(
+            FaultSite(
+                site_id, SiteKind.ENV_NODE, self.system, "<environment>",
+                env=EnvMeta(node=node),
+            )
+        )
+
+    def env_link(self, site_id: str, link: Tuple[str, str]) -> str:
+        """Environment site: one severable node-pair link."""
+        a, b = sorted(link)
+        return self._add(
+            FaultSite(
+                site_id, SiteKind.ENV_LINK, self.system, "<environment>",
+                env=EnvMeta(link=(a, b)),
+            )
+        )
+
+    def env_sites(self) -> List[FaultSite]:
+        """All environment sites (nodes and links) of this registry."""
+        return self.by_kind(SiteKind.ENV_NODE) + self.by_kind(SiteKind.ENV_LINK)
 
     # ------------------------------------------------------------- queries
 

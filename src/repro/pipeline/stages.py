@@ -28,13 +28,14 @@ from .stage import Stage
 
 
 class StaticAnalysisStage(Stage):
-    """Stage 1: static analyzer selects the injectable fault space F."""
+    """Stage 1: static analyzer selects the injectable fault space F
+    (restricted to the fault kinds the campaign's config enables)."""
 
     name = "analyze"
     provides = ("analysis",)
 
     def run(self, ctx: PipelineContext) -> None:
-        ctx.put("analysis", analyze(ctx.spec.registry))
+        ctx.put("analysis", analyze(ctx.spec.registry, ctx.config.fault_kinds))
 
 
 class ProfileStage(Stage):
@@ -137,6 +138,9 @@ class ReportStage(Stage):
                 budget_used=allocation.budget_used,
                 runs_executed=ctx.driver.runs_executed,
                 n_edges=len(ctx.driver.edges),
+                # Trigger-gated bugs (env-fault ground truth) are matched
+                # against the campaign's discovered edge set.
+                edges=ctx.driver.edges.all_edges(),
             ),
         )
 

@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional
 from .core.clustering import Clustering, FaultCluster
 from .core.cycles import Cycle
 from .core.fca import FcaResult
+from .faults import model_for  # also interns every registered fault kind
 from .instrument.analyzer import AnalysisResult
 from .instrument.plan import InjectionPlan
 from .instrument.trace import FaultEvent, RunGroup, RunTrace
@@ -120,22 +121,30 @@ def edge_from_obj(obj: Dict[str, Any]) -> CausalEdge:
 def plan_to_obj(plan: Optional[InjectionPlan]) -> Optional[Dict[str, Any]]:
     if plan is None:
         return None
-    return {
-        "fault": fault_to_obj(plan.fault),
+    fault = plan.fault
+    out = {
+        "fault": fault_to_obj(fault),
         "delay_ms": plan.delay_ms,
         "sticky": plan.sticky,
         "warmup_ms": plan.warmup_ms,
     }
+    params = model_for(fault.kind).params_to_obj(plan)
+    if params:
+        # Omitted when empty: classic plans keep their historical layout.
+        out["params"] = params
+    return out
 
 
 def plan_from_obj(obj: Optional[Dict[str, Any]]) -> Optional[InjectionPlan]:
     if obj is None:
         return None
+    fault = fault_from_obj(obj["fault"])
     return InjectionPlan(
-        fault=fault_from_obj(obj["fault"]),
+        fault=fault,
         delay_ms=obj["delay_ms"],
         sticky=obj["sticky"],
         warmup_ms=obj["warmup_ms"],
+        params=model_for(fault.kind).params_from_obj(obj.get("params", {})),
     )
 
 

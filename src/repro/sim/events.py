@@ -64,6 +64,11 @@ class SimEnv:
         self.events_processed = 0
         #: Set of frozensets({a, b}) of node names that cannot communicate.
         self._partitions: set = set()
+        #: Per-link probabilistic datagram loss: frozenset({a, b}) ->
+        #: (drop probability, dedicated seeded RNG).  Installed by the
+        #: msg_drop fault model; empty in fault-free runs, so ``send``
+        #: never draws from it (profile runs stay untouched).
+        self._drop_rules: dict = {}
         #: Hook the instrumentation runtime installs to observe spins.
         self.runtime: Any = None
 
@@ -100,6 +105,14 @@ class SimEnv:
     def after(self, node: Any, delay_ms: float, fn: Callable, *args: Any) -> Event:
         """Schedule ``fn`` on ``node`` at ``now + delay_ms``."""
         return self.schedule_at(self.now + delay_ms, node, fn, *args)
+
+    def cancel_events_for(self, node: Any) -> None:
+        """Cancel every pending event targeting ``node`` (crash semantics:
+        a crashed node's scheduled work is dropped, even work whose fire
+        time falls beyond a later restart)."""
+        for ev in self._heap:
+            if ev.node is node:
+                ev.cancel()
 
     def every(self, node: Any, interval_ms: float, fn: Callable, jitter_ms: float = 0.0) -> Event:
         """Fixed-delay periodic handler: the next firing is scheduled
@@ -176,6 +189,33 @@ class SimEnv:
     def heal_all(self) -> None:
         self._partitions.clear()
 
+    def partition_names(self, a: str, b: str) -> None:
+        """Name-based :meth:`partition` (environment fault models hold
+        node names, not node objects)."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal_names(self, a: str, b: str) -> None:
+        self._partitions.discard(frozenset((a, b)))
+
+    def node_named(self, name: str) -> Optional[Any]:
+        """The registered node called ``name``, or ``None``."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        return None
+
+    def set_drop_rule(self, a: str, b: str, drop_p: float, seed: int) -> None:
+        """Install probabilistic datagram loss on the ``{a, b}`` link.
+
+        Draws come from a dedicated RNG seeded with ``seed`` — never from
+        ``self.rng`` — so installing a rule does not perturb the latency
+        and jitter stream shared with the fault-free counterfactual run.
+        """
+        self._drop_rules[frozenset((a, b))] = (drop_p, random.Random(seed))
+
+    def clear_drop_rules(self) -> None:
+        self._drop_rules.clear()
+
     def reachable(self, src: Any, dst: Any) -> bool:
         if getattr(dst, "crashed", False) or getattr(src, "crashed", False):
             return False
@@ -192,6 +232,10 @@ class SimEnv:
         src = self.current_node
         if src is not None and not self.reachable(src, dst):
             return  # silently dropped, like a partitioned datagram
+        if self._drop_rules and src is not None:
+            rule = self._drop_rules.get(frozenset((src.name, dst.name)))
+            if rule is not None and rule[1].random() < rule[0]:
+                return  # injected datagram loss (msg_drop fault model)
         self.schedule_at(self.now + self._latency(), dst, fn, *args)
 
     def rpc(self, dst: Any, fn: Callable, *args: Any, timeout_ms: Optional[float] = None) -> Any:

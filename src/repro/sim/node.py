@@ -26,12 +26,33 @@ class Node:
         env.nodes.append(self)
 
     def crash(self) -> None:
-        """Stop executing handlers; pending events for this node are dropped."""
+        """Stop executing handlers; pending events for this node are dropped.
+
+        Dropping is eager (the heap entries are cancelled now), not a
+        pop-time filter: a periodic chain's next tick may be scheduled
+        *beyond* a later restart, and letting it survive the outage would
+        leave the old chain running alongside the one ``on_restart``
+        re-registers — double-rate ticking after recovery.
+        """
         self.crashed = True
+        self.env.cancel_events_for(self)
 
     def restart(self) -> None:
+        """Bring a crashed node back.
+
+        The crash dropped the node's pending events — including the tail
+        of any ``env.every`` chain — so :meth:`on_restart` runs afterwards
+        to rebuild periodic behaviour and reset volatile state.
+        """
+        if not self.crashed:
+            return
         self.crashed = False
         self.busy_until = self.env.now
+        self.on_restart()
+
+    def on_restart(self) -> None:
+        """Recovery hook invoked by :meth:`restart`; subclasses re-register
+        their periodic handlers and reset volatile role state here."""
 
     def check_alive(self) -> None:
         """Raise if a synchronous call reached a crashed node."""

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional
 
 from ..config import SimConfig
+from ..faults import EnvFaultPort
 from ..instrument.sites import SiteRegistry
 from ..types import FaultKey
 
@@ -46,9 +47,18 @@ class KnownBug:
     core_faults: FrozenSet[FaultKey]
     alt_detectable: bool = False  # naive single-fault strategy finds it (§8.2)
     jira: str = ""
+    #: Environment faults that must have *revealed* the cycle: detection
+    #: additionally requires a discovered causal edge from one of these
+    #: faults into the cycle's fault set.  Environment faults never occur
+    #: naturally, so they cannot sit inside a cycle — a trigger set is how
+    #: ground truth expresses "only environment fault injection exposes
+    #: this" (e.g. miniraft's partition-seeded RAFT-5).
+    trigger_faults: FrozenSet[FaultKey] = frozenset()
 
     def matches(self, cycle: "Cycle") -> bool:
-        """A reported cycle exposes this bug if it involves every core fault."""
+        """A reported cycle exposes this bug if it involves every core fault
+        (the trigger-fault requirement is checked against the edge DB by
+        :func:`repro.core.report.match_bugs`)."""
         return self.core_faults <= cycle.fault_set()
 
 
@@ -65,6 +75,15 @@ class SystemSpec:
     #: models) — structural changes to the registry or workload list are
     #: picked up by :meth:`digest` automatically, behavioural ones are not.
     version: str = "0"
+    #: The system's injectable environment surface: crashable nodes and
+    #: severable links.  Declaring a port registers the corresponding
+    #: ``ENV_NODE``/``ENV_LINK`` sites, which environment fault models
+    #: (``repro.faults.environment``) target like code sites.
+    env_port: Optional[EnvFaultPort] = None
+
+    def __post_init__(self) -> None:
+        if self.env_port is not None:
+            self.env_port.register_sites(self.registry)
 
     def digest(self) -> str:
         """Content digest of the declared system structure.
@@ -89,6 +108,7 @@ class SystemSpec:
                     repr(site.loop),
                     repr(site.detector),
                     repr(site.throw),
+                    repr(site.env),
                 ]
             )
         payload = {

@@ -2,14 +2,24 @@
 
 from __future__ import annotations
 
+from ...faults import EnvFaultPort
 from ...types import FaultKey, InjKind
 from ...workloads.raft import raft_workloads
 from ..base import KnownBug, SystemSpec
 from .sites import build_registry
 
+#: The three Raft peers and their pairwise links — the system's injectable
+#: environment surface (crash / partition / msg_drop fault targets).
+ENV_PORT = EnvFaultPort(
+    nodes=("raft0", "raft1", "raft2"),
+    links=(("raft0", "raft1"), ("raft0", "raft2"), ("raft1", "raft2")),
+)
+
 
 def build_system() -> SystemSpec:
-    spec = SystemSpec(name="miniraft", version="1", registry=build_registry())
+    spec = SystemSpec(
+        name="miniraft", version="2", registry=build_registry(), env_port=ENV_PORT
+    )
     for workload in raft_workloads():
         spec.add_workload(workload)
     spec.known_bugs = [
@@ -81,6 +91,34 @@ def build_system() -> SystemSpec:
                 }
             ),
             alt_detectable=True,
+        ),
+        KnownBug(
+            bug_id="RAFT-5",
+            description=(
+                "Election livelock under a healed partition: with "
+                "reconnect catch-up configured, a leader that hears from "
+                "a peer after a silence window re-queues a whole catch-up "
+                "window; the catch-up work delays heartbeats until the "
+                "election-timeout detector trips, and every fresh leader "
+                "treats all peers as reconnecting — more catch-up work, "
+                "later heartbeats, further elections.  Only environment "
+                "fault injection (a partition cut-and-heal) exposes the "
+                "triggering disturbance."
+            ),
+            signature="1D|0E|1N",
+            core_faults=frozenset(
+                {
+                    FaultKey("ldr.reconnect.catchup", InjKind.DELAY),
+                    FaultKey("flw.election.timed_out", InjKind.NEGATION),
+                }
+            ),
+            trigger_faults=frozenset(
+                {
+                    FaultKey(ENV_PORT.link_site_id(a, b), InjKind("partition"))
+                    for a, b in ENV_PORT.links
+                }
+            ),
+            alt_detectable=False,
         ),
     ]
     return spec

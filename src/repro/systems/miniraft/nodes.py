@@ -26,6 +26,14 @@ RAFT-4 (snapshot install churn): a slow snapshot install times out the
 leader's InstallSnapshot RPC; with snapshot retry configured the next tick
 restarts the transfer from chunk zero, and the follower installs the same
 chunks again.
+
+RAFT-5 (post-partition catch-up livelock): with reconnect catch-up
+configured, a leader that hears from a peer again after a silence window
+distrusts its replication bookkeeping and re-queues a catch-up window
+(the ``ldr.reconnect.catchup`` loop).  A healed partition is the natural
+trigger: the catch-up work makes the leader late with heartbeats, the
+election-timeout detector trips, and the fresh leader — which treats
+*every* peer as reconnecting — queues even more catch-up work.
 """
 
 from __future__ import annotations
@@ -55,6 +63,10 @@ class RaftConfig:
         self.quorum_window_ms = 600_000.0  # ack recency the quorum detector wants
         self.quorum_resync = False  # re-send a window to all peers on lost quorum
         self.resync_batch = 25  # entries re-sent per follower per resync
+        self.reconnect_catchup = False  # re-send a window to peers seen after silence
+        self.reconnect_silence_ms = 6_000.0  # ack gap that counts as a reconnect
+        self.reconnect_window = 25  # entries re-queued per reconnecting peer
+        self.catchup_cost_ms = 0.4  # per-entry cost of building the catch-up resend
         self.leader_catchup = 30  # window a fresh leader re-sends to every peer
         self.snapshot_threshold = 10_000  # follower lag that triggers a snapshot
         self.snapshot_chunks = 10
@@ -92,10 +104,23 @@ class RaftNode(Node):
         self.elections_started = 0
         self.append_timeouts = 0
         self.snapshots_sent = 0
+        self._register_ticks()
+
+    def _register_ticks(self) -> None:
+        """Periodic behaviour; re-registered after a crash-restart (the
+        crash dropped the pending tail of every ``env.every`` chain)."""
+        env, cfg = self.env, self.cfg
         env.every(self, cfg.heartbeat_interval_ms, self.replicate_tick, jitter_ms=40.0)
-        env.every(self, cfg.election_tick_ms, self.election_tick, jitter_ms=80.0 * (index + 1))
-        if cfg.flaky_follower == index and cfg.flaky_restart_ms > 0:
+        env.every(self, cfg.election_tick_ms, self.election_tick, jitter_ms=80.0 * (self.index + 1))
+        if cfg.flaky_follower == self.index and cfg.flaky_restart_ms > 0:
             env.every(self, cfg.flaky_restart_ms, self.wipe_disk)
+
+    def on_restart(self) -> None:
+        """Crash recovery: come back as a follower with fresh liveness
+        bookkeeping (the log itself is durable in this model)."""
+        self.role = "follower"
+        self.last_leader_contact = self.env.now
+        self._register_ticks()
 
     # ------------------------------------------------------------- helpers
 
@@ -120,7 +145,13 @@ class RaftNode(Node):
                 self.snap_index, len(self.log) - self.cfg.leader_catchup
             )
             self.match_index[peer.name] = 0
-            self.last_ack[peer.name] = self.env.now
+            # With reconnect catch-up configured, a fresh leader has no ack
+            # history to trust, so every peer's first ack reads as a
+            # reconnect — the RAFT-5 feedback path (each election queues a
+            # catch-up window per peer).
+            self.last_ack[peer.name] = (
+                -1.0e12 if self.cfg.reconnect_catchup else self.env.now
+            )
 
     # -------------------------------------------------------------- client
 
@@ -193,10 +224,26 @@ class RaftNode(Node):
         if term > self.term:
             self.become_follower(term)
             return
+        gap = self.env.now - self.last_ack.get(peer.name, self.env.now)
         self.last_ack[peer.name] = self.env.now
         if ok:
             self.match_index[peer.name] = match
             self.next_index[peer.name] = match
+            reconnect = self.rt.branch(
+                "ldr.reconnect.b_catchup",
+                self.cfg.reconnect_catchup and gap > self.cfg.reconnect_silence_ms,
+            )
+            if reconnect:
+                # THE BUG (RAFT-5): the peer answered after a silence
+                # window (healed partition, drained backlog, restart), so
+                # its match bookkeeping is distrusted and a whole catch-up
+                # window is re-queued — work the peer already applied.
+                start_over = max(self.snap_index, match - self.cfg.reconnect_window)
+                for _ in self.rt.loop(
+                    "ldr.reconnect.catchup", self.log[start_over:match]
+                ):
+                    self.env.spin(self.cfg.catchup_cost_ms)
+                self.next_index[peer.name] = start_over
         else:
             self.next_index[peer.name] = match  # follower told us where it is
 

@@ -22,6 +22,11 @@ def build_registry() -> SiteRegistry:
     reg.branch("ldr.append.b_retry", "RaftNode.replicate_tick")
     reg.branch("ldr.quorum.b_resync", "RaftNode.replicate_tick")
     reg.branch("ldr.snap.b_retry", "RaftNode.replicate_tick")
+    reg.loop(
+        "ldr.reconnect.catchup", "RaftNode.replicate_tick",
+        parent="ldr.append.peers", order=1, body_size=25,
+    )
+    reg.branch("ldr.reconnect.b_catchup", "RaftNode.replicate_tick")
 
     # Followers: log application, snapshot install, election liveness.
     reg.loop("flw.append.apply", "RaftNode.handle_append", body_size=40)

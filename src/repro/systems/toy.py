@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..errors import IOEx, RpcTimeout
+from ..faults import EnvFaultPort
 from ..instrument.runtime import Runtime
 from ..instrument.sites import SiteRegistry
 from ..sim import Node, SimEnv
@@ -277,8 +278,17 @@ TOY2_FAULTS = frozenset(
 )
 
 
+#: Injectable environment surface: a crashable worker plus the links a
+#: partition or datagram loss can disturb (worker heartbeats and client
+#: traffic both cross the server links).
+ENV_PORT = EnvFaultPort(
+    nodes=("worker-0", "worker-1"),
+    links=(("server", "worker-0"), ("server", "client-0")),
+)
+
+
 def build_system() -> SystemSpec:
-    spec = SystemSpec(name=SYSTEM, registry=REGISTRY)
+    spec = SystemSpec(name=SYSTEM, registry=REGISTRY, env_port=ENV_PORT)
     spec.add_workload(WorkloadSpec("toy.big_batches", _wl_big_batches.__doc__ or "", _wl_big_batches))
     spec.add_workload(
         WorkloadSpec("toy.retry_clients", _wl_retry_clients.__doc__ or "", _wl_retry_clients)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 
 class SiteKind(enum.Enum):
@@ -20,14 +20,82 @@ class SiteKind(enum.Enum):
     LOOP = "loop"  # workload-related loop (contention injection target)
     DETECTOR = "detector"  # boolean-returning system-specific error detector
     BRANCH = "branch"  # monitor point only (never injected)
+    ENV_NODE = "env_node"  # environment site: one crashable cluster node
+    ENV_LINK = "env_link"  # environment site: one severable node-pair link
 
 
-class InjKind(enum.Enum):
-    """The three fault types CSnake injects (and observes)."""
+class _InjKindMeta(type):
+    """Iteration/len over the registered kinds, mirroring the old enum."""
 
-    EXCEPTION = "exception"  # one-time throw at a THROW/LIB_CALL site
-    DELAY = "delay"  # per-iteration spinning delay at a LOOP site
-    NEGATION = "negation"  # negated return value at a DETECTOR site
+    def __iter__(cls):
+        return iter(cls._interned.values())
+
+    def __len__(cls) -> int:
+        return len(cls._interned)
+
+
+class InjKind(metaclass=_InjKindMeta):
+    """A fault kind: the manifestation a :class:`FaultKey` injects/observes.
+
+    Formerly a closed three-member enum; now an *open*, interned handle so
+    new fault models (``repro.faults``) can register kinds without editing
+    this module.  Interning preserves the enum ergonomics the rest of the
+    framework relies on: ``InjKind("delay") is InjKind.DELAY``, identity
+    comparisons, hashing, pickling across process boundaries, and
+    ``list(InjKind)`` iteration all behave as before.  ``InjKind(value)``
+    raises ``ValueError`` for unregistered kinds, exactly like the enum
+    did — deserializing a fault kind no registered model understands fails
+    loudly instead of fabricating a handle.
+    """
+
+    __slots__ = ("value",)
+
+    _interned: Dict[str, "InjKind"] = {}
+
+    def __new__(cls, value: "str | InjKind") -> "InjKind":
+        if isinstance(value, InjKind):
+            return value
+        try:
+            return cls._interned[value]
+        except KeyError:
+            raise ValueError(
+                "%r is not a registered fault kind (known: %s)"
+                % (value, ", ".join(cls._interned) or "-")
+            ) from None
+
+    @classmethod
+    def _intern(cls, value: str) -> "InjKind":
+        """Register (or fetch) the kind handle for ``value``.
+
+        Only :mod:`repro.faults` (and this module, for the three paper
+        kinds) should call this — a kind without a fault model behind it
+        cannot be planned, armed, or serialized.
+        """
+        inst = cls._interned.get(value)
+        if inst is None:
+            inst = object.__new__(cls)
+            inst.value = value
+            cls._interned[value] = inst
+        return inst
+
+    @property
+    def name(self) -> str:  # enum-compatible spelling
+        return self.value.upper()
+
+    def __reduce__(self):
+        # Unpickle to the interned instance so `is` comparisons survive
+        # process boundaries and deepcopies.
+        return (InjKind, (self.value,))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<InjKind.%s: %r>" % (self.name, self.value)
+
+
+#: The three paper kinds, interned eagerly so ``InjKind.EXCEPTION`` works
+#: without importing the fault-model registry.
+InjKind.EXCEPTION = InjKind._intern("exception")  # one-time throw at a THROW/LIB_CALL site
+InjKind.DELAY = InjKind._intern("delay")  # per-iteration spinning delay at a LOOP site
+InjKind.NEGATION = InjKind._intern("negation")  # negated return value at a DETECTOR site
 
 
 class EdgeType(enum.Enum):
@@ -45,15 +113,32 @@ class EdgeType(enum.Enum):
 DELAY_EDGE_TYPES = frozenset({EdgeType.SP_D, EdgeType.SP_I, EdgeType.ICFG, EdgeType.CFG})
 
 
+#: Primary fault kind injected at each site kind.  Seeded with the paper's
+#: three kinds; fault models registered through :mod:`repro.faults` extend
+#: it (a site kind may host several models — e.g. partition *and*
+#: message-drop faults on one link site — but exactly one is primary).
+_PRIMARY_KIND_FOR_SITE: Dict[SiteKind, InjKind] = {
+    SiteKind.THROW: InjKind.EXCEPTION,
+    SiteKind.LIB_CALL: InjKind.EXCEPTION,
+    SiteKind.LOOP: InjKind.DELAY,
+    SiteKind.DETECTOR: InjKind.NEGATION,
+}
+
+
+def register_primary_kind(site_kind: SiteKind, kind: InjKind) -> None:
+    """Declare ``kind`` the primary fault kind of ``site_kind`` (first
+    registration wins; called by the fault-model registry)."""
+    _PRIMARY_KIND_FOR_SITE.setdefault(site_kind, kind)
+
+
 def inj_kind_for_site(kind: SiteKind) -> InjKind:
-    """Map a site kind to the fault kind injected there."""
-    if kind in (SiteKind.THROW, SiteKind.LIB_CALL):
-        return InjKind.EXCEPTION
-    if kind is SiteKind.LOOP:
-        return InjKind.DELAY
-    if kind is SiteKind.DETECTOR:
-        return InjKind.NEGATION
-    raise ValueError("site kind %s is monitor-only and cannot be injected" % kind)
+    """Map a site kind to the primary fault kind injected there."""
+    try:
+        return _PRIMARY_KIND_FOR_SITE[kind]
+    except KeyError:
+        raise ValueError(
+            "site kind %s is monitor-only and cannot be injected" % kind
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -74,7 +159,13 @@ class FaultKey:
         return (self.site_id, self.kind.value) < (other.site_id, other.kind.value)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return "%s@%s" % (self.kind.value[0].upper(), self.site_id)
+        try:  # the model's signature letter (C/P/X for environment kinds)
+            from .faults import model_for
+
+            char = model_for(self.kind).char
+        except Exception:
+            char = self.kind.value[0].upper()
+        return "%s@%s" % (char, self.site_id)
 
 
 @dataclass(frozen=True)
@@ -163,6 +254,20 @@ class DetectorMeta:
     constant_return: bool = False  # provably constant return value
     unused_return: bool = False  # return value never used by callers
     primitive_only: bool = False  # pure utility predicate over primitives
+
+
+@dataclass(frozen=True)
+class EnvMeta:
+    """Static metadata for an environment fault site.
+
+    Environment sites are not program locations: they name a piece of the
+    simulated world — one crashable node or one severable link — that an
+    environment-level fault model (``repro.faults.environment``) can
+    disturb.  Exactly one of ``node`` / ``link`` is set.
+    """
+
+    node: Optional[str] = None  # node name, for ENV_NODE sites
+    link: Optional[Tuple[str, str]] = None  # sorted node-name pair, for ENV_LINK sites
 
 
 @dataclass(frozen=True)

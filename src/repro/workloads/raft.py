@@ -55,13 +55,15 @@ def wl_resend(env: SimEnv, rt: Runtime) -> None:
 
 def wl_elections(env: SimEnv, rt: Runtime) -> None:
     """Leader-failover drill: tight election timeout with every production
-    fallback enabled (resend-on-timeout, quorum resync, fresh-leader
-    catch-up).  A scripted hand-over at t=5s exercises the vote path in
-    every profile run without touching the election-timeout detector."""
+    fallback enabled (resend-on-timeout, quorum resync, fresh-leader and
+    reconnect catch-up).  A scripted hand-over at t=5s exercises the vote
+    and reconnect paths in every profile run without touching the
+    election-timeout detector."""
     cfg = RaftConfig(election_timeout_ms=12_000.0, election_tick_ms=4_000.0,
                      resend_on_timeout=True, resend_window=30,
                      quorum_resync=True, resync_batch=25,
-                     quorum_window_ms=30_000.0, leader_catchup=30)
+                     quorum_window_ms=30_000.0, leader_catchup=30,
+                     reconnect_catchup=True, reconnect_window=25)
     nodes = build_cluster(env, rt, cfg)
     env.schedule_at(5_000.0, nodes[1], nodes[1].start_election)
     RaftClient(env, rt, nodes, 0, cmds_per_tick=2, interval_ms=3_000.0)
@@ -74,6 +76,21 @@ def wl_quorum(env: SimEnv, rt: Runtime) -> None:
     cfg = RaftConfig(quorum_resync=True, resync_batch=25,
                      quorum_window_ms=25_000.0, append_rpc_timeout_ms=30_000.0)
     nodes = build_cluster(env, rt, cfg)
+    RaftClient(env, rt, nodes, 0, cmds_per_tick=3, interval_ms=3_000.0)
+
+
+def wl_partition(env: SimEnv, rt: Runtime) -> None:
+    """Partition drill: reconnect catch-up enabled under a tight election
+    timeout, with a scripted sub-timeout partition of the leader-raft1
+    link healed 10 s later — every profile run exercises the reconnect
+    catch-up path without tripping the election-timeout detector."""
+    cfg = RaftConfig(reconnect_catchup=True, reconnect_window=25,
+                     reconnect_silence_ms=6_000.0,
+                     election_timeout_ms=20_000.0, election_tick_ms=4_000.0,
+                     leader_catchup=30, append_rpc_timeout_ms=8_000.0)
+    nodes = build_cluster(env, rt, cfg)
+    env.schedule_at(30_000.0, None, env.partition, nodes[0], nodes[1])
+    env.schedule_at(40_000.0, None, env.heal, nodes[0], nodes[1])
     RaftClient(env, rt, nodes, 0, cmds_per_tick=3, interval_ms=3_000.0)
 
 
@@ -100,6 +117,7 @@ def raft_workloads() -> List[WorkloadSpec]:
         WorkloadSpec("raft.heavy_appends", wl_heavy_appends.__doc__ or "", wl_heavy_appends),
         WorkloadSpec("raft.resend", wl_resend.__doc__ or "", wl_resend),
         WorkloadSpec("raft.elections", wl_elections.__doc__ or "", wl_elections),
+        WorkloadSpec("raft.partition", wl_partition.__doc__ or "", wl_partition),
         WorkloadSpec("raft.quorum", wl_quorum.__doc__ or "", wl_quorum),
         WorkloadSpec("raft.snapshot", wl_snapshot.__doc__ or "", wl_snapshot),
         WorkloadSpec("raft.idle", wl_idle.__doc__ or "", wl_idle, duration_ms=60_000.0),

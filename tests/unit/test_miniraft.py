@@ -20,12 +20,18 @@ def spec():
 
 
 def test_registry_and_ground_truth(spec):
-    assert len(spec.registry) == 24
-    assert len(spec.workloads) == 7
-    assert [b.bug_id for b in spec.known_bugs] == ["RAFT-1", "RAFT-2", "RAFT-3", "RAFT-4"]
+    assert len(spec.registry) == 32  # 26 code sites + 3 node + 3 link env sites
+    assert len(spec.registry.env_sites()) == 6
+    assert len(spec.workloads) == 8
+    assert [b.bug_id for b in spec.known_bugs] == [
+        "RAFT-1", "RAFT-2", "RAFT-3", "RAFT-4", "RAFT-5",
+    ]
     for bug in spec.known_bugs:
-        for fault in bug.core_faults:
+        for fault in bug.core_faults | bug.trigger_faults:
             assert fault.site_id in spec.registry, bug.bug_id
+    raft5 = spec.bug("RAFT-5")
+    assert raft5.trigger_faults, "RAFT-5 is gated on environment trigger faults"
+    assert all(f.kind is InjKind("partition") for f in raft5.trigger_faults)
 
 
 def test_fault_space_excludes_filtered_sites(spec):
@@ -44,13 +50,19 @@ def test_profiles_deterministic_and_fault_free(spec):
     bug_faults = set()
     for bug in spec.known_bugs:
         bug_faults |= set(bug.core_faults)
+    # raft.partition's scripted cut-and-heal naturally times out the
+    # leader's AppendEntries to the severed follower — intentional
+    # environment churn; FCA's counterfactual exclusion is per-test, and
+    # RAFT-1 detection relies on raft.resend, whose profile stays clean.
+    allowed = {"raft.partition": {FaultKey("ldr.append.rpc", InjKind.EXCEPTION)}}
     for test_id in spec.workload_ids():
         wl = spec.workloads[test_id]
         a = run_workload(spec, wl, None, _seed_for(test_id, 0, 99))
         b = run_workload(spec, wl, None, _seed_for(test_id, 0, 99))
         assert a.loop_counts == b.loop_counts, test_id
         assert not a.saturated, test_id
-        assert not (a.natural_faults() & bug_faults), test_id
+        unexpected = (a.natural_faults() & bug_faults) - allowed.get(test_id, set())
+        assert not unexpected, (test_id, unexpected)
 
 
 def test_bug_core_faults_reachable_somewhere(spec):
@@ -86,6 +98,19 @@ def test_scripted_handover_elects_node1(spec):
         # RAFT-4: lost InstallSnapshot ack -> transfer restarts from chunk 0.
         (FaultKey("ldr.snap.rpc", InjKind.EXCEPTION), "raft.snapshot",
          FaultKey("flw.snap.chunks", InjKind.DELAY)),
+        # RAFT-5: delayed reconnect catch-up -> stalled heartbeats -> the
+        # election-timeout detector trips.
+        (FaultKey("ldr.reconnect.catchup", InjKind.DELAY), "raft.partition",
+         FaultKey("flw.election.timed_out", InjKind.NEGATION)),
+        # RAFT-5: negated election timeout -> election -> every peer treated
+        # as reconnecting -> catch-up loop growth.
+        (FaultKey("flw.election.timed_out", InjKind.NEGATION), "raft.partition",
+         FaultKey("ldr.reconnect.catchup", InjKind.DELAY)),
+        # RAFT-5 trigger: an injected partition (cut + heal) drives the
+        # post-heal reconnect catch-up — the environment edge the bug's
+        # trigger gate requires.
+        (FaultKey("env.link.raft0~raft1", InjKind("partition")), "raft.partition",
+         FaultKey("ldr.reconnect.catchup", InjKind.DELAY)),
     ],
 )
 def test_seeded_feedback_paths_fire(spec, fault, test_id, expected):
