@@ -11,7 +11,6 @@ import pytest
 
 from repro.bench import format_table
 from repro.bench.runners import bench_config
-from repro.config import CSnakeConfig
 from repro.core.beam import BeamSearch
 from repro.core.clustering import cluster_faults
 from repro.core.idf import IdfVectorizer

@@ -1,0 +1,56 @@
+"""Static code-slice analysis of target-system Python source.
+
+The paper's static analyzer *filters* a declared site registry; this
+package goes one layer deeper and analyzes the target system's actual
+Python source with :mod:`ast`:
+
+* :mod:`repro.analysis.astutil` — source parsing, function collection
+  (with qualified names), and normalized AST digests that are insensitive
+  to comments, whitespace, and docstrings;
+* :mod:`repro.analysis.cfg` — per-function control-flow graphs, used to
+  keep statically dead statements out of the call graph;
+* :mod:`repro.analysis.callgraph` — the interprocedural call graph:
+  ``self.method`` calls, module-level calls, constructors, and callbacks
+  registered through the node/sim API (``env.every``, ``env.rpc``,
+  ``rt.rpc_call`` arguments);
+* :mod:`repro.analysis.slicer` — per-:class:`~repro.instrument.sites.FaultSite`
+  *reachable slices* (every function body transitively reachable from the
+  site's enclosing function) and their content digests, plus workload
+  entry-point reachability;
+* :mod:`repro.analysis.source` — source providers (live modules, source
+  trees, git refs) so the same slicer serves the running system and
+  ``repro diff-run OLD NEW``;
+* :mod:`repro.analysis.diff` — slice-digest and report diffing for
+  ``repro diff-run``.
+
+Slice digests are the per-site cache axis of ``CACHE_SCHEMA`` 3: editing
+one handler invalidates only the experiments whose reachable slice
+contains it (see docs/static-analysis.md).
+"""
+
+from .diff import ReportDiff, SliceDiff, diff_reports, diff_slices
+from .slicer import SliceAnalysis, analyze_sources, analyze_system
+from .source import (
+    GitSource,
+    SourceProvider,
+    TreeSource,
+    live_sources,
+    module_relpath,
+    resolve_provider,
+)
+
+__all__ = [
+    "GitSource",
+    "ReportDiff",
+    "SliceAnalysis",
+    "SliceDiff",
+    "SourceProvider",
+    "TreeSource",
+    "analyze_sources",
+    "analyze_system",
+    "diff_reports",
+    "diff_slices",
+    "live_sources",
+    "module_relpath",
+    "resolve_provider",
+]

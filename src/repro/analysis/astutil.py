@@ -1,0 +1,260 @@
+"""AST parsing, function collection, and normalized digests.
+
+Everything downstream (call graph, slices, cache keys) consumes the two
+artifacts built here:
+
+* a table of :class:`FunctionInfo` — every ``def``/``async def`` in the
+  analyzed modules, keyed by ``module:QualName`` (the qualname uses the
+  same ``Cls.method`` / ``outer.<locals>.inner`` convention as
+  ``__qualname__``), carrying its AST node, class context, and the fault
+  site-id literals it passes to ``rt.*`` hooks;
+* a *normalized digest* per function — sha256 over ``ast.dump`` of the
+  function node with docstrings stripped.  Comments and whitespace never
+  reach the AST, so digests are insensitive to them by construction.
+
+The digest deliberately covers nested functions textually (editing a
+closure edits its host's digest too) — a slice that reaches the host
+must be invalidated when the closure changes.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# Runtime hook methods whose first positional argument is a site-id
+# string literal (see repro.instrument.runtime.Runtime).
+SITE_HOOKS = frozenset(
+    ["loop", "loop_guard", "throw_point", "detector", "branch", "rpc_call", "lib_call"]
+)
+
+
+@dataclass
+class FunctionInfo:
+    """One collected function definition."""
+
+    key: str  # "module:QualName", globally unique
+    module: str  # dotted module name
+    qualname: str  # __qualname__-style, e.g. "RaftNode.handle_append"
+    name: str  # bare name
+    cls: Optional[str]  # immediate enclosing class qualname, if any
+    node: ast.AST  # the FunctionDef / AsyncFunctionDef node
+    lineno: int
+    site_literals: Tuple[str, ...] = ()  # site ids passed to rt.* hooks here
+    digest: str = ""  # normalized body digest (filled by collect_module)
+
+
+@dataclass
+class ClassInfo:
+    """One collected class definition (methods + textual base names)."""
+
+    key: str  # "module:QualName"
+    module: str
+    qualname: str
+    name: str
+    bases: Tuple[str, ...] = ()  # base-class names as written (dotted tail)
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> function key
+
+
+@dataclass
+class ModuleInfo:
+    """Parse result for one module."""
+
+    name: str
+    tree: ast.Module
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    # local alias -> (absolute module, attr-or-None); attr None for plain
+    # ``import x.y as z`` style bindings.
+    imports: Dict[str, Tuple[str, Optional[str]]] = field(default_factory=dict)
+
+
+def strip_docstrings(node: ast.AST) -> ast.AST:
+    """Remove docstring statements (string-constant first statements) from
+    every function, class, and module body under ``node``, in place."""
+    for sub in ast.walk(node):
+        body = getattr(sub, "body", None)
+        if not isinstance(sub, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not body:
+            continue
+        first = body[0]
+        if (
+            isinstance(first, ast.Expr)
+            and isinstance(first.value, ast.Constant)
+            and isinstance(first.value.value, str)
+        ):
+            if len(body) == 1:
+                # Keep the body non-empty so the tree stays valid.
+                body[0] = ast.Pass()
+            else:
+                del body[0]
+    return node
+
+
+def normalized_dump(node: ast.AST) -> str:
+    """``ast.dump`` of ``node`` with docstrings stripped and location
+    attributes dropped — the canonical text digests are taken over."""
+    clean = strip_docstrings(copy.deepcopy(node))
+    return ast.dump(clean, include_attributes=False)
+
+
+def digest_node(node: ast.AST) -> str:
+    return hashlib.sha256(normalized_dump(node).encode("utf-8")).hexdigest()
+
+
+def digest_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _is_runtime_receiver(expr: ast.AST) -> bool:
+    """True for ``rt`` / ``self.rt`` / ``<anything>.rt`` — the Runtime
+    handle instrumented code calls hooks on.  Registry *declarations*
+    (``reg.loop("site", ...)``) share the method names but never this
+    receiver, and must not bind the site to the builder function."""
+    if isinstance(expr, ast.Name):
+        return expr.id == "rt"
+    if isinstance(expr, ast.Attribute):
+        return expr.attr == "rt"
+    return False
+
+
+def _site_literal(call: ast.Call) -> Optional[str]:
+    """Return the site id if ``call`` is an ``rt.<hook>("site.id", ...)``
+    runtime-hook invocation, else None."""
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in SITE_HOOKS:
+        return None
+    if not _is_runtime_receiver(func.value):
+        return None
+    if not call.args:
+        return None
+    first = call.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first.value
+    return None
+
+
+class _Collector(ast.NodeVisitor):
+    """Walk one module, recording functions, classes, imports, and the
+    site-id literals each function's body contains."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        self.info = info
+        self._qual: List[str] = []  # qualname segments
+        self._class_stack: List[ClassInfo] = []
+        self._fn_stack: List[FunctionInfo] = []
+        self._sites: Dict[str, List[str]] = {}  # function key -> site ids
+
+    # -- imports ------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".", 1)[0]
+            self.info.imports[local] = (alias.name, None)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = self._resolve_relative(node)
+        if base is not None:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                self.info.imports[local] = (base, alias.name)
+
+    def _resolve_relative(self, node: ast.ImportFrom) -> Optional[str]:
+        if node.level == 0:
+            return node.module
+        parts = self.info.name.split(".")
+        if node.level > len(parts):
+            return None
+        head = parts[: len(parts) - node.level]
+        if node.module:
+            head.append(node.module)
+        return ".".join(head) if head else None
+
+    # -- classes & functions ------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._qual.append(node.name)
+        qual = ".".join(self._qual)
+        cls = ClassInfo(
+            key="%s:%s" % (self.info.name, qual),
+            module=self.info.name,
+            qualname=qual,
+            name=node.name,
+            bases=tuple(_base_name(b) for b in node.bases if _base_name(b)),
+        )
+        self.info.classes[cls.key] = cls
+        self._class_stack.append(cls)
+        self.generic_visit(node)
+        self._class_stack.pop()
+        self._qual.pop()
+
+    def _visit_function(self, node: ast.AST, name: str) -> None:
+        self._qual.append(name)
+        qual = ".".join(self._qual)
+        cls = self._class_stack[-1] if self._class_stack else None
+        fn = FunctionInfo(
+            key="%s:%s" % (self.info.name, qual),
+            module=self.info.name,
+            qualname=qual,
+            name=name,
+            cls=cls.qualname if cls else None,
+            node=node,
+            lineno=getattr(node, "lineno", 0),
+        )
+        self.info.functions[fn.key] = fn
+        if cls is not None and cls.qualname == _owner_qual(qual):
+            cls.methods[name] = fn.key
+        self._fn_stack.append(fn)
+        self._qual.append("<locals>")
+        self.generic_visit(node)
+        self._qual.pop()
+        self._fn_stack.pop()
+        self._qual.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    # -- site literals ------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        site = _site_literal(node)
+        if site is not None and self._fn_stack:
+            self._sites.setdefault(self._fn_stack[-1].key, []).append(site)
+        self.generic_visit(node)
+
+    def finalize(self) -> None:
+        for key, sites in self._sites.items():
+            self.info.functions[key].site_literals = tuple(sites)
+        for fn in self.info.functions.values():
+            fn.digest = digest_node(fn.node)
+
+
+def _owner_qual(fn_qual: str) -> str:
+    """Qualname of the scope that owns a function, e.g. the class of a
+    method ("Cls.m" -> "Cls"); empty for module-level functions."""
+    head, _, _ = fn_qual.rpartition(".")
+    return head
+
+
+def _base_name(expr: ast.AST) -> str:
+    """Textual name of a base-class expression: Name -> id, dotted
+    Attribute -> last attr (resolution happens against parsed classes)."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return ""
+
+
+def collect_module(name: str, source: str) -> ModuleInfo:
+    """Parse ``source`` and collect its functions, classes, and imports."""
+    tree = ast.parse(source, filename="%s.py" % name.replace(".", "/"))
+    info = ModuleInfo(name=name, tree=tree)
+    collector = _Collector(info)
+    collector.visit(tree)
+    collector.finalize()
+    return info

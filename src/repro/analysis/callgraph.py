@@ -1,0 +1,267 @@
+"""Interprocedural call graph over collected modules.
+
+Resolution rules, applied in order to every call expression found in a
+CFG-reachable statement (see :mod:`repro.analysis.cfg`):
+
+1. **Nested functions** — ``g(...)`` where ``g`` is defined inside the
+   calling function (``outer.<locals>.g``).
+2. **Module-level calls** — ``f(...)`` for a function defined (or
+   imported from a parsed module) at module scope.
+3. **Constructors** — ``ClassName(...)`` adds an edge to
+   ``ClassName.__init__`` when the class is parsed.
+4. **``self.method(...)``** — resolved within the enclosing class, then
+   its parsed base classes (breadth-first; unparsed framework bases such
+   as ``repro.sim.Node`` are skipped).
+5. **Typed locals** — ``x.method(...)`` where ``x`` was assigned
+   ``ClassName(...)`` in the same function, or is a parameter annotated
+   with a parsed class.
+6. **Unique-method-name fallback (CHA-lite)** — any remaining
+   ``expr.method(...)`` resolves to *every* parsed class defining
+   ``method``.  Over-approximate by design: a slice may include a
+   function it cannot reach, never the reverse for these patterns.
+
+**Callbacks**: the simulated node API registers work by reference —
+``env.every(self, ms, self.replicate_tick)``,
+``env.schedule_at(t, node, node.start_election)``,
+``rt.rpc_call("site", ..., peer.handle_append, ...)``.  Every bare
+``Name``/``Attribute`` argument of any call that resolves to a known
+function or parsed method therefore becomes a call edge from the
+registering function.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .astutil import ClassInfo, FunctionInfo, ModuleInfo
+from .cfg import FunctionCFG, build_cfg
+
+
+def stmt_exprs(stmt: ast.stmt) -> List[ast.expr]:
+    """Expressions evaluated *by this statement itself* — for compound
+    statements only the header (test/iter/items), since the body lives in
+    other CFG blocks; for ``def``/``class`` only decorators and defaults
+    (the body is a separate function / runs at call time)."""
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        defaults: List[ast.expr] = [d for d in stmt.args.defaults]
+        defaults.extend(d for d in stmt.args.kw_defaults if d is not None)
+        return list(stmt.decorator_list) + defaults
+    if isinstance(stmt, ast.ClassDef):
+        return list(stmt.decorator_list) + list(stmt.bases) + [kw.value for kw in stmt.keywords]
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return [h.type for h in stmt.handlers if h.type is not None]
+    return [node for node in ast.iter_child_nodes(stmt) if isinstance(node, ast.expr)]
+
+
+@dataclass
+class CallGraph:
+    functions: Dict[str, FunctionInfo]
+    classes: Dict[str, ClassInfo]
+    modules: Dict[str, ModuleInfo]
+    edges: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    cfgs: Dict[str, FunctionCFG] = field(default_factory=dict)
+    calls_seen: int = 0
+    calls_resolved: int = 0
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(v) for v in self.edges.values())
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Transitive closure over call edges, roots included."""
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.extend(self.edges.get(key, ()))
+        return seen
+
+
+class _Resolver:
+    def __init__(self, modules: Dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        for mod in modules.values():
+            self.functions.update(mod.functions)
+            self.classes.update(mod.classes)
+        # method name -> every parsed class's implementation (CHA table)
+        self.methods_by_name: Dict[str, List[str]] = {}
+        for cls in self.classes.values():
+            for mname, fkey in cls.methods.items():
+                self.methods_by_name.setdefault(mname, []).append(fkey)
+        # bare class name -> parsed classes with that name
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        for cls in self.classes.values():
+            self.classes_by_name.setdefault(cls.name, []).append(cls)
+
+    # -- class / name resolution --------------------------------------
+    def class_named(self, name: str, module: str) -> List[ClassInfo]:
+        """Parsed classes a bare name may refer to, seen from ``module``:
+        module-local first, then the module's imports, then any parsed
+        class with that name (unique only)."""
+        local_key = "%s:%s" % (module, name)
+        if local_key in self.classes:
+            return [self.classes[local_key]]
+        mod = self.modules.get(module)
+        if mod is not None and name in mod.imports:
+            target_mod, attr = mod.imports[name]
+            if attr is not None:
+                key = "%s:%s" % (target_mod, attr)
+                if key in self.classes:
+                    return [self.classes[key]]
+        candidates = self.classes_by_name.get(name, [])
+        return candidates if len(candidates) == 1 else []
+
+    def method_in_class(self, cls: ClassInfo, name: str) -> List[str]:
+        """Look up ``name`` in ``cls`` then breadth-first through parsed
+        bases (unparsed bases are silently skipped)."""
+        queue: List[ClassInfo] = [cls]
+        seen: Set[str] = set()
+        while queue:
+            cur = queue.pop(0)
+            if cur.key in seen:
+                continue
+            seen.add(cur.key)
+            if name in cur.methods:
+                return [cur.methods[name]]
+            for base in cur.bases:
+                queue.extend(self.class_named(base, cur.module))
+        return []
+
+    def resolve_name(self, name: str, fn: FunctionInfo, *, classes_ok: bool) -> List[str]:
+        """Resolve a bare-name reference from inside ``fn``."""
+        nested = "%s:%s.<locals>.%s" % (fn.module, fn.qualname, name)
+        if nested in self.functions:
+            return [nested]
+        module_fn = "%s:%s" % (fn.module, name)
+        if module_fn in self.functions and self.functions[module_fn].cls is None:
+            return [module_fn]
+        mod = self.modules.get(fn.module)
+        if mod is not None and name in mod.imports:
+            target_mod, attr = mod.imports[name]
+            if attr is not None:
+                key = "%s:%s" % (target_mod, attr)
+                if key in self.functions:
+                    return [key]
+                if classes_ok and key in self.classes:
+                    return self._ctor(self.classes[key])
+        if classes_ok:
+            for cls in self.class_named(name, fn.module):
+                return self._ctor(cls)
+        return []
+
+    def _ctor(self, cls: ClassInfo) -> List[str]:
+        out = self.method_in_class(cls, "__init__")
+        return out
+
+    def resolve_attr(self, value: ast.expr, attr: str, fn: FunctionInfo,
+                     local_types: Dict[str, ClassInfo]) -> List[str]:
+        """Resolve ``<value>.<attr>`` as a method reference."""
+        if isinstance(value, ast.Name):
+            if value.id == "self" and fn.cls is not None:
+                cls_key = "%s:%s" % (fn.module, fn.cls)
+                cls = self.classes.get(cls_key)
+                if cls is not None:
+                    return self.method_in_class(cls, attr)
+                return []
+            if value.id in local_types:
+                hit = self.method_in_class(local_types[value.id], attr)
+                if hit:
+                    return hit
+        # CHA-lite fallback: every parsed class defining this method.
+        return list(self.methods_by_name.get(attr, []))
+
+    # -- per-function type hints --------------------------------------
+    def local_types(self, fn: FunctionInfo, stmts: Sequence[ast.stmt]) -> Dict[str, ClassInfo]:
+        """name -> parsed class, from annotated parameters and
+        single-target ``x = ClassName(...)`` assignments."""
+        types: Dict[str, ClassInfo] = {}
+        args = getattr(fn.node, "args", None)
+        if args is not None:
+            all_args = list(args.posonlyargs) if hasattr(args, "posonlyargs") else []
+            all_args.extend(args.args)
+            all_args.extend(args.kwonlyargs)
+            for a in all_args:
+                ann = a.annotation
+                name: Optional[str] = None
+                if isinstance(ann, ast.Name):
+                    name = ann.id
+                elif isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+                    name = ann.value.split(".")[-1].strip()
+                if name:
+                    hits = self.class_named(name, fn.module)
+                    if len(hits) == 1:
+                        types[a.arg] = hits[0]
+        for stmt in stmts:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Name)
+            ):
+                hits = self.class_named(stmt.value.func.id, fn.module)
+                if len(hits) == 1:
+                    types[stmt.targets[0].id] = hits[0]
+        return types
+
+
+def build_call_graph(modules: Dict[str, ModuleInfo]) -> CallGraph:
+    resolver = _Resolver(modules)
+    graph = CallGraph(functions=resolver.functions, classes=resolver.classes, modules=modules)
+    for key, fn in resolver.functions.items():
+        cfg = build_cfg(fn.node)
+        graph.cfgs[key] = cfg
+        stmts = cfg.reachable_statements()
+        local_types = resolver.local_types(fn, stmts)
+        targets: Set[str] = set()
+        for stmt in stmts:
+            for expr in stmt_exprs(stmt):
+                for node in ast.walk(expr):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    graph.calls_seen += 1
+                    resolved = _resolve_call(node, fn, resolver, local_types)
+                    if resolved:
+                        graph.calls_resolved += 1
+                        targets.update(resolved)
+                    targets.update(_callback_refs(node, fn, resolver, local_types))
+        targets.discard(key)  # self-recursion adds nothing to a closure
+        graph.edges[key] = tuple(sorted(targets))
+    return graph
+
+
+def _resolve_call(node: ast.Call, fn: FunctionInfo, resolver: _Resolver,
+                  local_types: Dict[str, ClassInfo]) -> List[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return resolver.resolve_name(func.id, fn, classes_ok=True)
+    if isinstance(func, ast.Attribute):
+        return resolver.resolve_attr(func.value, func.attr, fn, local_types)
+    return []
+
+
+def _callback_refs(node: ast.Call, fn: FunctionInfo, resolver: _Resolver,
+                   local_types: Dict[str, ClassInfo]) -> List[str]:
+    """Function references passed as arguments — callback registration."""
+    out: List[str] = []
+    args: List[ast.expr] = list(node.args)
+    args.extend(kw.value for kw in node.keywords if kw.value is not None)
+    for arg in args:
+        if isinstance(arg, ast.Name):
+            out.extend(resolver.resolve_name(arg.id, fn, classes_ok=False))
+        elif isinstance(arg, ast.Attribute):
+            out.extend(resolver.resolve_attr(arg.value, arg.attr, fn, local_types))
+    return out

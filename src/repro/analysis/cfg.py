@@ -1,0 +1,185 @@
+"""Per-function control-flow graphs.
+
+The call graph only harvests call expressions from *CFG-reachable*
+statements, so code that is statically dead inside a function — anything
+after an unconditional ``return`` / ``raise`` / ``break`` / ``continue``
+in the same block sequence — contributes no edges and no reachability.
+
+The CFG is statement-granular and deliberately conservative:
+
+* every branch of ``if`` / ``for`` / ``while`` / ``try`` / ``with`` is
+  assumed takeable (no constant folding, so ``if False:`` bodies still
+  count as live);
+* every statement of a ``try`` body may transfer to every handler;
+* loop bodies get a back edge to the loop header and an exit edge past
+  the loop.
+
+Nested ``def``/``class`` statements are treated as plain definitions
+here: the nested body is *not* inlined into the host's CFG (it only runs
+if called; the call graph adds a separate edge when a reference to it is
+found).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+@dataclass
+class BasicBlock:
+    index: int
+    statements: List[ast.stmt] = field(default_factory=list)
+    successors: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class FunctionCFG:
+    """CFG for one function body: basic blocks, edges, and the subset of
+    statements reachable from the entry block."""
+
+    blocks: List[BasicBlock]
+    entry: int
+    reachable_blocks: Set[int]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(b.successors) for b in self.blocks)
+
+    def reachable_statements(self) -> List[ast.stmt]:
+        out: List[ast.stmt] = []
+        for block in self.blocks:
+            if block.index in self.reachable_blocks:
+                out.extend(block.statements)
+        return out
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: List[BasicBlock] = []
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def link(self, src: BasicBlock, dst: BasicBlock) -> None:
+        src.successors.add(dst.index)
+
+    def seq(
+        self,
+        stmts: Sequence[ast.stmt],
+        current: BasicBlock,
+        loop: Optional[Tuple[BasicBlock, BasicBlock]] = None,
+        handlers: Sequence[BasicBlock] = (),
+    ) -> BasicBlock:
+        """Lay out ``stmts`` starting in ``current``; return the block that
+        control falls out of (it may be unreachable if the sequence always
+        terminates).  ``loop`` is (header, after) for break/continue;
+        ``handlers`` are the active except-blocks."""
+        for stmt in stmts:
+            for handler in handlers:
+                self.link(current, handler)
+            if isinstance(stmt, (ast.If,)):
+                current.statements.append(stmt)
+                then = self.new_block()
+                self.link(current, then)
+                then_out = self.seq(stmt.body, then, loop, handlers)
+                after = self.new_block()
+                if stmt.orelse:
+                    els = self.new_block()
+                    self.link(current, els)
+                    els_out = self.seq(stmt.orelse, els, loop, handlers)
+                    self.link(els_out, after)
+                else:
+                    self.link(current, after)
+                self.link(then_out, after)
+                current = after
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                current.statements.append(stmt)
+                header = self.new_block()
+                self.link(current, header)
+                body = self.new_block()
+                after = self.new_block()
+                self.link(header, body)
+                self.link(header, after)  # zero iterations / loop exit
+                body_out = self.seq(stmt.body, body, (header, after), handlers)
+                self.link(body_out, header)  # back edge
+                if stmt.orelse:
+                    els = self.new_block()
+                    self.link(header, els)
+                    els_out = self.seq(stmt.orelse, els, loop, handlers)
+                    self.link(els_out, after)
+                current = after
+            elif isinstance(stmt, ast.Try):
+                current.statements.append(stmt)
+                body = self.new_block()
+                self.link(current, body)
+                after = self.new_block()
+                handler_blocks: List[BasicBlock] = []
+                for h in stmt.handlers:
+                    hb = self.new_block()
+                    handler_blocks.append(hb)
+                    h_out = self.seq(h.body, hb, loop, handlers)
+                    self.link(h_out, after)
+                body_out = self.seq(stmt.body, body, loop, tuple(handlers) + tuple(handler_blocks))
+                if stmt.orelse:
+                    els = self.new_block()
+                    self.link(body_out, els)
+                    body_out = self.seq(stmt.orelse, els, loop, handlers)
+                self.link(body_out, after)
+                if stmt.finalbody:
+                    fin = self.new_block()
+                    self.link(after, fin)
+                    after = self.seq(stmt.finalbody, fin, loop, handlers)
+                current = after
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                current.statements.append(stmt)
+                body = self.new_block()
+                self.link(current, body)
+                current = self.seq(stmt.body, body, loop, handlers)
+            elif isinstance(stmt, _TERMINATORS):
+                current.statements.append(stmt)
+                if isinstance(stmt, ast.Continue) and loop is not None:
+                    self.link(current, loop[0])
+                elif isinstance(stmt, ast.Break) and loop is not None:
+                    self.link(current, loop[1])
+                # Return/Raise: no successor.  Whatever follows in this
+                # sequence lands in a fresh, unlinked (dead) block.
+                current = self.new_block()
+            else:
+                current.statements.append(stmt)
+        return current
+
+
+def build_cfg(fn: ast.AST) -> FunctionCFG:
+    """Build the CFG for a FunctionDef/AsyncFunctionDef node."""
+    body: List[ast.stmt] = list(getattr(fn, "body", []))
+    builder = _Builder()
+    entry = builder.new_block()
+    builder.seq(body, entry)
+    reachable: Set[int] = set()
+    stack = [entry.index]
+    while stack:
+        idx = stack.pop()
+        if idx in reachable:
+            continue
+        reachable.add(idx)
+        stack.extend(builder.blocks[idx].successors)
+    return FunctionCFG(blocks=builder.blocks, entry=entry.index, reachable_blocks=reachable)
+
+
+def cfg_stats(cfgs: Dict[str, FunctionCFG]) -> Dict[str, int]:
+    """Aggregate block/edge counts for bench reporting."""
+    return {
+        "cfg_blocks": sum(c.n_blocks for c in cfgs.values()),
+        "cfg_edges": sum(c.n_edges for c in cfgs.values()),
+        "dead_blocks": sum(c.n_blocks - len(c.reachable_blocks) for c in cfgs.values()),
+    }

@@ -122,6 +122,23 @@ def measure_agent_overhead(
     return out
 
 
+def measure_analysis(system: str) -> Optional[Dict[str, Any]]:
+    """Code-slice analysis stats for the benched system: call-graph and
+    slicing wall time plus resolved/unresolved site counts.
+
+    Computed on a fresh analysis (not the spec's memoized one) so the
+    recorded wall times reflect a cold run.  ``None`` for systems that
+    declare no ``source_modules``.
+    """
+    from ..analysis import analyze_system
+    from ..analysis.source import live_sources
+
+    spec = get_system(system)
+    if not spec.source_modules:
+        return None
+    return analyze_system(spec, live_sources(spec.source_modules)).stats()
+
+
 def bench_campaign(
     system: Optional[str] = None,
     workers: Optional[int] = None,
@@ -198,6 +215,7 @@ def bench_campaign(
         "workers": workers,
         "config": config.to_dict(),
         "backends": results,
+        "analysis": measure_analysis(system),
     }
     if overhead:
         out["agent_overhead"] = measure_agent_overhead(

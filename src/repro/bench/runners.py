@@ -67,7 +67,7 @@ class CampaignResult:
     def detection_phase(self, bug_id: str) -> Optional[int]:
         """3PA phase after which all of the bug's cycle edges were known
         (Table 3's "Alloc." column)."""
-        bug = self.detector.spec.bug(bug_id)
+        self.detector.spec.bug(bug_id)  # raises KeyError on unknown ids
         match = next(m for m in self.report.bug_matches if m.bug.bug_id == bug_id)
         if not match.detected:
             return None

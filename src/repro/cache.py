@@ -16,7 +16,7 @@ by a serial campaign serves thread- and process-backed ones.
 Layout (all writes atomic, safe for concurrent worker processes)::
 
     <cache-dir>/
-        <digest[:2]>/<digest>.json   # {"schema": 1, "kind": ..., "key": ..., "data": ...}
+        <digest[:2]>/<digest>.json   # {"schema": N, "kind": ..., "key": ..., "data": ...}
 
 Entries embed the full key material for debuggability; unreadable or
 mismatching entries are treated as misses.  Hit/miss/store counters are
@@ -30,7 +30,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from .config import EXECUTION_ONLY_KNOBS, CSnakeConfig
 from .core.fca import FcaResult
@@ -49,6 +49,9 @@ from .serialize import (
 from .systems.base import SystemSpec
 from .types import FaultKey
 
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from .analysis import SliceAnalysis
+
 #: Bump when the entry layout or any codec changes incompatibly; old
 #: entries then read as misses instead of corrupt results.
 #:
@@ -57,7 +60,14 @@ from .types import FaultKey
 #:   2 — pluggable fault models: plan payloads grew a ``params`` codec,
 #:       ``SystemSpec.digest`` covers environment sites, and every key
 #:       embeds the fault-model registry digest.
-CACHE_SCHEMA = 2
+#:   3 — per-site code-slice keying (``repro.analysis``): experiment keys
+#:       embed the injected site's slice digest, profile keys the test's
+#:       entry-point slice digest, and the whole-spec digest moved into
+#:       the *fallback* component used only when the slicer could not
+#:       resolve the site (``slice_unresolved``) or the system declares
+#:       no ``source_modules``.  Editing one handler now invalidates
+#:       exactly the entries whose slice can reach it.
+CACHE_SCHEMA = 3
 
 
 def result_affecting_config(config: CSnakeConfig) -> Dict[str, Any]:
@@ -85,8 +95,10 @@ class ExperimentCache:
     def __init__(self, root: "os.PathLike[str]", spec: SystemSpec, config: CSnakeConfig) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.spec = spec
         self.system = spec.name
         self.spec_digest = spec.digest()
+        self.sites_digest = spec.sites_digest()
         self.models_digest = fault_models_digest()
         self.config_snapshot = result_affecting_config(config)
         self.hits = 0
@@ -95,12 +107,48 @@ class ExperimentCache:
 
     # ---------------------------------------------------------------- keys
 
-    def _digest(self, kind: str, payload: Dict[str, Any]) -> str:
+    def _slices(self) -> Optional["SliceAnalysis"]:
+        """The spec's code-slice analysis (lazy: worker processes rebuild
+        the cache from a pickled task, and the analysis is a deterministic
+        function of the source files, so they re-derive identical keys)."""
+        return self.spec.slice_analysis()
+
+    def _site_slice(self, site_id: str) -> Dict[str, Any]:
+        """Slice component of an experiment key: the injected site's slice
+        digest, or — when the slicer could not bind the site to code, or
+        the system declares no source modules — the whole-spec digest
+        with an explicit fallback reason."""
+        slices = self._slices()
+        if slices is None:
+            return {"digest": None, "reason": "no_source_analysis", "spec": self.spec_digest}
+        digest = slices.site_digests.get(site_id)
+        if digest is None:
+            return {"digest": None, "reason": "slice_unresolved", "spec": self.spec_digest}
+        return {"digest": digest}
+
+    def _entry_slice(self, test_id: str) -> Dict[str, Any]:
+        """Slice component of a profile key: the closure from the test's
+        workload entry point."""
+        slices = self._slices()
+        if slices is None:
+            return {"digest": None, "reason": "no_source_analysis", "spec": self.spec_digest}
+        digest = slices.entry_digests.get(test_id)
+        if digest is None:
+            return {"digest": None, "reason": "slice_unresolved", "spec": self.spec_digest}
+        return {"digest": digest}
+
+    def _digest(self, kind: str, payload: Dict[str, Any], *, test_id: str) -> str:
         material = {
             "schema": CACHE_SCHEMA,
             "kind": kind,
             "system": self.system,
-            "spec": self.spec_digest,
+            # All site rows (ids, kinds, metadata) — traces record every
+            # registered site and loop parent/sibling rows feed the FCA
+            # edge derivation, so results may depend on any of them.
+            "sites": self.sites_digest,
+            # This test's declared duration and sim config; *other*
+            # workloads cannot affect this entry and are not keyed.
+            "workload": self.spec.workload_row(test_id),
             # Registry fingerprint: registering or revising a fault model
             # shifts every key, so results computed under a different
             # fault vocabulary can never replay as hits.
@@ -113,7 +161,11 @@ class ExperimentCache:
 
     def profile_key(self, test_id: str) -> str:
         """Key of the fault-free profile run group of ``test_id``."""
-        return self._digest("profile", {"test_id": test_id})
+        return self._digest(
+            "profile",
+            {"test_id": test_id, "slice": self._entry_slice(test_id)},
+            test_id=test_id,
+        )
 
     def experiment_key(
         self, test_id: str, fault: FaultKey, plans: List[InjectionPlan]
@@ -126,7 +178,9 @@ class ExperimentCache:
                 "test_id": test_id,
                 "fault": fault_to_obj(fault),
                 "plans": [plan_to_obj(p) for p in plans],
+                "slice": self._site_slice(fault.site_id),
             },
+            test_id=test_id,
         )
 
     def _path(self, key: str) -> Path:

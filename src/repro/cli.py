@@ -37,7 +37,7 @@ from .pipeline import (
     default_stages,
 )
 from .systems import available_systems, get_system
-from .types import FaultKey, InjKind, SiteKind
+from .types import FaultKey, InjKind
 
 
 def _parse_fault(text: str) -> FaultKey:
@@ -330,6 +330,206 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return _run_pipeline(session.system, config, args, session, None)
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Static-analysis report: the fault space, per-site exclusion
+    reasons, and the code-slice resolution/reachability status."""
+    from .instrument.analyzer import analyze
+    from .serialize import analysis_to_obj
+
+    spec = get_system(args.system)
+    slices = spec.slice_analysis()
+    kinds = _parse_fault_kinds(args.fault_kinds) if args.fault_kinds else None
+    result = analyze(spec.registry, kinds, slices=slices)
+    if args.json:
+        obj = {"analysis": analysis_to_obj(result), "slices": None}
+        if slices is not None:
+            stats = {
+                k: v for k, v in slices.stats().items() if not k.startswith("wall_")
+            }
+            obj["slices"] = {
+                "stats": stats,
+                "site_digests": dict(sorted(slices.site_digests.items())),
+                "entry_digests": dict(sorted(slices.entry_digests.items())),
+                "unresolved": dict(sorted(slices.unresolved.items())),
+            }
+        json.dump(obj, sys.stdout, indent=1, sort_keys=True)
+        print()
+        return 0
+    print("system: %s" % spec.name)
+    if slices is None:
+        print("  slices: system declares no source_modules (not sliceable)")
+    else:
+        stats = slices.stats()
+        print(
+            "  slices: %d modules, %d functions, %d call edges; "
+            "%d sites resolved, %d env, %d unresolved; reachability %s"
+            % (
+                stats["modules"],
+                stats["functions"],
+                stats["call_edges"],
+                stats["sites_resolved"],
+                stats["sites_env"],
+                stats["sites_unresolved"],
+                "trusted" if stats["reachability_trusted"] else "NOT trusted (no pruning)",
+            )
+        )
+    print(
+        "  fault space: %d faults over %d sites (%d sites excluded)"
+        % (len(result.faults), len(result.fault_sites()), len(result.excluded))
+    )
+    for site_id in sorted(result.excluded):
+        print("  excluded %-38s %s" % (site_id, "; ".join(result.excluded[site_id])))
+    if slices is not None:
+        for site_id in sorted(slices.unresolved):
+            print("  unresolved %-36s %s" % (site_id, slices.unresolved[site_id]))
+    return 0
+
+
+def _diffrun_side_root(provider, workdir, label):
+    """An on-disk tree for one diff-run operand (git refs get extracted)."""
+    from .analysis.source import GitSource
+
+    if isinstance(provider, GitSource):
+        return provider.materialize(workdir / label)
+    return provider.root
+
+
+def _diffrun_campaign(root, args, cache_dir: str):
+    """Run one side's campaign in a subprocess whose ``repro`` package is
+    imported from that side's tree, sharing ``cache_dir`` across sides so
+    unchanged-slice experiments replay instead of re-simulating."""
+    import subprocess
+
+    src = root / "src"
+    pythonpath = str(src if src.is_dir() else root)
+    cmd = [
+        sys.executable, "-m", "repro.cli", "run", args.system,
+        "--json", "--cache-dir", cache_dir,
+    ]
+    for flag, value in (
+        ("--budget", args.budget),
+        ("--seed", args.seed),
+        ("--repeats", args.repeats),
+        ("--delays", args.delays),
+        ("--fault-kinds", args.fault_kinds),
+        ("--backend", args.backend),
+        ("--workers", args.workers),
+    ):
+        if value is not None:
+            cmd += [flag, str(value)]
+    for entry in args.sweep or []:
+        cmd += ["--sweep", entry]
+    env = dict(os.environ, PYTHONPATH=pythonpath)
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode not in (0, 1):  # 1 just means "no bugs detected"
+        raise ReproError(
+            "campaign under %s failed (exit %d):\n%s" % (root, proc.returncode, proc.stderr)
+        )
+    if args.verbose:
+        sys.stderr.write(proc.stderr)
+    return json.loads(proc.stdout)
+
+
+def cmd_diff_run(args: argparse.Namespace) -> int:
+    """Slice-diff two revisions of a system, then (unless --static-only)
+    run both campaigns against one shared cache and diff the reports."""
+    import tempfile
+    from pathlib import Path
+
+    from .analysis import analyze_system, diff_reports, diff_slices
+    from .analysis.source import resolve_provider
+    from .instrument.analyzer import analyze
+
+    spec = get_system(args.system)
+    if not spec.source_modules:
+        raise SystemExit(
+            "system %r declares no source_modules; nothing to slice" % args.system
+        )
+    try:
+        old_provider = resolve_provider(args.old)
+        new_provider = resolve_provider(args.new)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+    old_slices = analyze_system(spec, old_provider.sources(spec.source_modules))
+    new_slices = analyze_system(spec, new_provider.sources(spec.source_modules))
+    sdiff = diff_slices(old_slices, new_slices)
+    analysis = analyze(
+        spec.registry,
+        _parse_fault_kinds(args.fault_kinds) if args.fault_kinds else None,
+        slices=new_slices,
+    )
+    invalidated, reusable = sdiff.partition_faults(analysis.faults)
+
+    payload = {
+        "system": spec.name,
+        "old": old_provider.label,
+        "new": new_provider.label,
+        "static": sdiff.to_obj(),
+        "experiments": {
+            "invalidated": [str(f) for f in invalidated],
+            "reusable": [str(f) for f in reusable],
+        },
+        "reports": None,
+    }
+    if not args.static_only:
+        with tempfile.TemporaryDirectory(prefix="repro-diffrun-") as tmp:
+            workdir = Path(tmp)
+            cache_dir = _cache_dir(args) or str(workdir / "cache")
+            old_root = _diffrun_side_root(old_provider, workdir, "old")
+            new_root = _diffrun_side_root(new_provider, workdir, "new")
+            old_report = _diffrun_campaign(old_root, args, cache_dir)
+            new_report = _diffrun_campaign(new_root, args, cache_dir)
+        payload["reports"] = diff_reports(old_report, new_report).to_obj()
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    if args.json:
+        json.dump(payload, sys.stdout, indent=1, sort_keys=True)
+        print()
+    else:
+        print("diff-run %s: %s -> %s" % (spec.name, old_provider.label, new_provider.label))
+        print(
+            "  functions: %d changed, %d added, %d removed"
+            % (
+                len(sdiff.changed_functions),
+                len(sdiff.added_functions),
+                len(sdiff.removed_functions),
+            )
+        )
+        print(
+            "  slices: %d sites changed, %d unchanged, %d unresolved; "
+            "%d entries changed"
+            % (
+                len(sdiff.changed_sites),
+                len(sdiff.unchanged_sites),
+                len(sdiff.unresolved_sites),
+                len(sdiff.changed_entries),
+            )
+        )
+        for site_id in sdiff.changed_sites:
+            print("    changed %s" % site_id)
+        print(
+            "  experiments: %d invalidated, %d reusable"
+            % (len(invalidated), len(reusable))
+        )
+        reports = payload["reports"]
+        if reports is not None:
+            for label in reports["appeared_loops"]:
+                print("  loop appeared: %s" % label)
+            for label in reports["vanished_loops"]:
+                print("  loop vanished: %s" % label)
+            for bug in reports["appeared_bugs"]:
+                print("  bug appeared: %s" % bug)
+            for bug in reports["vanished_bugs"]:
+                print("  bug vanished: %s" % bug)
+            if reports["identical"]:
+                print("  reports identical")
+    return 0
+
+
 def cmd_inject(args: argparse.Namespace) -> int:
     spec = get_system(args.system)
     driver = ExperimentDriver(spec, _config(args))
@@ -383,6 +583,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(
             "agent overhead %-10s %.1f%% (seed: %s%%)"
             % (system, entry["overhead_pct"], entry.get("seed_overhead_pct", "?"))
+        )
+    analysis = result.get("analysis")
+    if analysis:
+        print(
+            "analysis: %d functions, %d call edges, %d sites resolved / "
+            "%d unresolved, %.3fs (parse %.3fs, call graph %.3fs, slice %.3fs)"
+            % (
+                analysis["functions"],
+                analysis["call_edges"],
+                analysis["sites_resolved"],
+                analysis["sites_unresolved"],
+                analysis["wall_total_s"],
+                analysis["wall_parse_s"],
+                analysis["wall_callgraph_s"],
+                analysis["wall_slice_s"],
+            )
         )
     print("wrote %s" % args.out)
     if any(not result["backends"][b]["identical_to_serial"] for b in backends):
@@ -523,6 +739,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_flags(resume)
     _add_output_flags(resume)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="static-analysis report: fault space, per-site exclusion "
+        "reasons, and code-slice resolution status",
+    )
+    analyze.add_argument("system", choices=available_systems())
+    analyze.add_argument(
+        "--fault-kinds",
+        default=None,
+        metavar="K,K,...|all|classic",
+        help="fault kinds to include in the reported fault space",
+    )
+    analyze.add_argument(
+        "--json", action="store_true", help="print the analysis as JSON"
+    )
+
+    diff_run = sub.add_parser(
+        "diff-run",
+        help="slice-diff two revisions, report which cached experiments an "
+        "edit invalidates, and re-run both campaigns against one cache",
+    )
+    diff_run.add_argument(
+        "old", metavar="OLD", help="baseline: a git ref or a source-tree directory"
+    )
+    diff_run.add_argument(
+        "new", metavar="NEW", help="candidate: a git ref or a source-tree directory"
+    )
+    diff_run.add_argument(
+        "--system", choices=available_systems(), default="miniraft",
+        help="target system to diff (default: miniraft)",
+    )
+    diff_run.add_argument(
+        "--static-only", action="store_true",
+        help="stop after the slice diff and invalidation report (no campaigns)",
+    )
+    _add_backend_flags(diff_run)
+    _add_experiment_flags(diff_run)
+    _add_cache_flags(diff_run, bare=False)
+    _add_output_flags(diff_run)
+
     inject = sub.add_parser("inject", help="run one fault injection experiment")
     inject.add_argument("system", choices=available_systems())
     inject.add_argument("fault", help="<site>:<delay|exception|negation>")
@@ -574,6 +830,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "list": cmd_list,
         "faults": cmd_faults,
+        "analyze": cmd_analyze,
+        "diff-run": cmd_diff_run,
         "run": cmd_run,
         "resume": cmd_resume,
         "inject": cmd_inject,

@@ -153,6 +153,12 @@ class ExperimentDriver:
             from ..cache import ExperimentCache  # deferred: avoids an import cycle
 
             self.cache = ExperimentCache(self.config.cache_dir, self.spec, self.config)
+            # Resolve the code-slice analysis once, eagerly: cache keys
+            # embed slice digests, and thread-backend workers computing
+            # keys concurrently would otherwise race the spec's lazy
+            # memoization (benign — the analysis is deterministic — but
+            # needlessly repeated work).
+            self.spec.slice_analysis()
 
     # -------------------------------------------------------------- profiles
 

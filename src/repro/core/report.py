@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..systems.base import KnownBug, SystemSpec
-from ..types import CausalEdge, FaultKey
+from ..types import CausalEdge
 from .clustering import Clustering
 from .cycles import Cycle, CycleCluster, cluster_cycles
 

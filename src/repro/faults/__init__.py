@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Tuple, Union
 
 from ..types import InjKind, SiteKind, register_primary_kind
 from .base import EnvFaultPort, FaultModel

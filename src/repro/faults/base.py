@@ -25,7 +25,7 @@ docs/fault-model.md for a worked example.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from ..types import FaultKey, InjKind, SiteKind
 

@@ -9,22 +9,32 @@ Applies the paper's conservative filtering rules:
   reachable-code size unless they perform I/O;
 * detectors (§7): boolean functions whose return value depends only on
   final/configuration variables, is constant/unused, or is computed purely
-  from primitive utility state are excluded.
+  from primitive utility state are excluded;
+* reachability (code-slice analysis, ``repro.analysis``): sites whose
+  enclosing function is statically unreachable from every workload entry
+  point are excluded — no workload can ever drive execution through them,
+  so budget spent there is wasted.  Only applied when a slice analysis is
+  supplied *and* every entry point resolved (unresolved sites are kept,
+  conservatively).
 
 The output is the fault space ``F`` the 3PA protocol allocates budget over,
-plus the monitor-point inventory for the Table 2 reproduction.
+plus the monitor-point inventory for the Table 2 reproduction.  A site may
+trip several filters; ``AnalysisResult.excluded`` keeps every reason.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..config import LOOP_SIZE_PRUNE_FRAC
 from ..faults import CLASSIC_FAULT_KINDS
 from ..types import FaultKey, SiteKind
 from .sites import FaultSite, SiteRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
+    from ..analysis.slicer import SliceAnalysis
 
 
 @dataclass
@@ -33,11 +43,16 @@ class AnalysisResult:
 
     system: str
     faults: List[FaultKey] = field(default_factory=list)
-    excluded: Dict[str, str] = field(default_factory=dict)  # site_id -> reason
+    #: site_id -> every reason that excluded it (a site can trip several
+    #: filters, e.g. constant-bound *and* statically unreachable).
+    excluded: Dict[str, List[str]] = field(default_factory=dict)
     counts: Dict[str, int] = field(default_factory=dict)
 
     def fault_sites(self) -> List[str]:
         return [f.site_id for f in self.faults]
+
+    def exclude(self, site_id: str, reason: str) -> None:
+        self.excluded.setdefault(site_id, []).append(reason)
 
 
 class StaticAnalyzer:
@@ -46,7 +61,8 @@ class StaticAnalyzer:
     ``fault_kinds`` names the registered fault models the campaign may
     inject with (``CSnakeConfig.fault_kinds``); sites whose only models
     are disabled are excluded with an explanatory reason, exactly like
-    the paper's static filters.
+    the paper's static filters.  ``slices`` (a
+    :class:`repro.analysis.SliceAnalysis`) enables the reachability rule.
     """
 
     def __init__(
@@ -54,19 +70,21 @@ class StaticAnalyzer:
         registry: SiteRegistry,
         loop_prune_frac: float = LOOP_SIZE_PRUNE_FRAC,
         fault_kinds: Optional[Sequence[str]] = None,
+        slices: Optional["SliceAnalysis"] = None,
     ) -> None:
         self.registry = registry
         self.loop_prune_frac = loop_prune_frac
         self.fault_kinds = (
             tuple(fault_kinds) if fault_kinds is not None else CLASSIC_FAULT_KINDS
         )
+        self.slices = slices
 
     def _enabled(self, kind_id: str) -> bool:
         return kind_id in self.fault_kinds
 
     def _exclude_kind_disabled(self, result: AnalysisResult, sites: List[FaultSite], kind_id: str) -> None:
         for site in sites:
-            result.excluded[site.site_id] = "fault kind %r not enabled" % kind_id
+            result.exclude(site.site_id, "fault kind %r not enabled" % kind_id)
 
     # ----------------------------------------------------------- per-kind
 
@@ -79,11 +97,11 @@ class StaticAnalyzer:
             meta = site.throw
             assert meta is not None
             if meta.reflection_related:
-                result.excluded[site.site_id] = "reflection-related exception"
+                result.exclude(site.site_id, "reflection-related exception")
             elif meta.security_related:
-                result.excluded[site.site_id] = "security-related exception"
+                result.exclude(site.site_id, "security-related exception")
             elif meta.test_only:
-                result.excluded[site.site_id] = "only reachable from tests"
+                result.exclude(site.site_id, "only reachable from tests")
             else:
                 result.faults.append(site.fault_key)
 
@@ -97,7 +115,7 @@ class StaticAnalyzer:
             meta = site.loop
             assert meta is not None
             if meta.constant_bound:
-                result.excluded[site.site_id] = "constant iteration bound"
+                result.exclude(site.site_id, "constant iteration bound")
             else:
                 candidates.append(site)
         if not candidates:
@@ -110,8 +128,10 @@ class StaticAnalyzer:
         for site in ranked[:n_prune]:
             if not site.loop.does_io:
                 pruned_ids.add(site.site_id)
-                result.excluded[site.site_id] = "short loop without I/O (bottom %d%% by size)" % int(
-                    self.loop_prune_frac * 100
+                result.exclude(
+                    site.site_id,
+                    "short loop without I/O (bottom %d%% by size)"
+                    % int(self.loop_prune_frac * 100),
                 )
         for site in candidates:
             if site.site_id not in pruned_ids:
@@ -126,13 +146,13 @@ class StaticAnalyzer:
             meta = site.detector
             assert meta is not None
             if meta.final_only:
-                result.excluded[site.site_id] = "return depends only on final/config variables"
+                result.exclude(site.site_id, "return depends only on final/config variables")
             elif meta.constant_return:
-                result.excluded[site.site_id] = "constant return value"
+                result.exclude(site.site_id, "constant return value")
             elif meta.unused_return:
-                result.excluded[site.site_id] = "return value never used"
+                result.exclude(site.site_id, "return value never used")
             elif meta.primitive_only:
-                result.excluded[site.site_id] = "primitive-only utility predicate"
+                result.exclude(site.site_id, "primitive-only utility predicate")
             else:
                 result.faults.append(site.fault_key)
 
@@ -142,9 +162,33 @@ class StaticAnalyzer:
         for site in self.registry.env_sites():
             keys = [k for k in site.fault_keys() if self._enabled(k.kind.value)]
             if not keys:
-                result.excluded[site.site_id] = "environment fault kinds not enabled"
+                result.exclude(site.site_id, "environment fault kinds not enabled")
                 continue
             result.faults.extend(keys)
+
+    def _prune_unreachable(self, result: AnalysisResult) -> int:
+        """Reachability rule: drop faults at sites the slice analysis
+        proves unreachable from every workload entry point.  Applies to
+        filter-surviving faults *and* stamps an extra reason on already
+        excluded unreachable sites (multi-reason bookkeeping)."""
+        slices = self.slices
+        if slices is None or not slices.reachability_trusted:
+            return 0
+        reason = "statically unreachable from any workload entry point"
+        kept: List[FaultKey] = []
+        dropped = 0
+        for fault in result.faults:
+            if slices.is_reachable(fault.site_id):
+                kept.append(fault)
+            else:
+                if reason not in result.excluded.get(fault.site_id, []):
+                    result.exclude(fault.site_id, reason)
+                dropped += 1
+        result.faults = kept
+        for site_id in list(result.excluded):
+            if not slices.is_reachable(site_id) and reason not in result.excluded[site_id]:
+                result.exclude(site_id, reason)
+        return dropped
 
     # -------------------------------------------------------------- driver
 
@@ -154,16 +198,23 @@ class StaticAnalyzer:
         self._select_loops(result)
         self._select_detectors(result)
         self._select_env(result)
+        n_unreachable = self._prune_unreachable(result)
         result.faults.sort()
         result.counts = self.registry.counts()
         result.counts["injectable"] = len(result.faults)
         result.counts["excluded"] = len(result.excluded)
+        if self.slices is not None:
+            result.counts["unreachable_pruned"] = n_unreachable
+            result.counts["slices_resolved"] = len(self.slices.site_roots)
+            result.counts["slices_unresolved"] = len(self.slices.unresolved)
         return result
 
 
 def analyze(
-    registry: SiteRegistry, fault_kinds: Optional[Sequence[str]] = None
+    registry: SiteRegistry,
+    fault_kinds: Optional[Sequence[str]] = None,
+    slices: Optional["SliceAnalysis"] = None,
 ) -> AnalysisResult:
     """Convenience wrapper: run the static analyzer with default settings
     (``fault_kinds`` defaults to the paper's classic taxonomy)."""
-    return StaticAnalyzer(registry, fault_kinds=fault_kinds).analyze()
+    return StaticAnalyzer(registry, fault_kinds=fault_kinds, slices=slices).analyze()

@@ -29,13 +29,21 @@ from .stage import Stage
 
 class StaticAnalysisStage(Stage):
     """Stage 1: static analyzer selects the injectable fault space F
-    (restricted to the fault kinds the campaign's config enables)."""
+    (restricted to the fault kinds the campaign's config enables, and
+    pruned by code-slice reachability when the system is sliceable)."""
 
     name = "analyze"
     provides = ("analysis",)
 
     def run(self, ctx: PipelineContext) -> None:
-        ctx.put("analysis", analyze(ctx.spec.registry, ctx.config.fault_kinds))
+        ctx.put(
+            "analysis",
+            analyze(
+                ctx.spec.registry,
+                ctx.config.fault_kinds,
+                slices=ctx.spec.slice_analysis(),
+            ),
+        )
 
 
 class ProfileStage(Stage):

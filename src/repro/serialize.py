@@ -248,16 +248,21 @@ def analysis_to_obj(analysis: AnalysisResult) -> Dict[str, Any]:
     return {
         "system": analysis.system,
         "faults": [fault_to_obj(f) for f in analysis.faults],
-        "excluded": dict(sorted(analysis.excluded.items())),
+        "excluded": {k: list(v) for k, v in sorted(analysis.excluded.items())},
         "counts": dict(sorted(analysis.counts.items())),
     }
 
 
 def analysis_from_obj(obj: Dict[str, Any]) -> AnalysisResult:
+    # Schema ≤ 2 sessions stored one reason string per site; wrap those
+    # into the multi-reason list form.
+    excluded = {
+        k: [v] if isinstance(v, str) else list(v) for k, v in obj["excluded"].items()
+    }
     return AnalysisResult(
         system=obj["system"],
         faults=[fault_from_obj(f) for f in obj["faults"]],
-        excluded=dict(obj["excluded"]),
+        excluded=excluded,
         counts=dict(obj["counts"]),
     )
 

@@ -8,7 +8,7 @@ self-sustaining cascade bugs (the evaluation ground truth for Table 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from ..config import SimConfig
 from ..faults import EnvFaultPort
@@ -16,6 +16,7 @@ from ..instrument.sites import SiteRegistry
 from ..types import FaultKey
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis import SliceAnalysis
     from ..core.cycles import Cycle
     from ..instrument.runtime import Runtime
     from ..sim import SimEnv
@@ -80,24 +81,44 @@ class SystemSpec:
     #: ``ENV_NODE``/``ENV_LINK`` sites, which environment fault models
     #: (``repro.faults.environment``) target like code sites.
     env_port: Optional[EnvFaultPort] = None
+    #: Python modules holding this system's node implementations and
+    #: workload bodies — the input of the code-slice analysis
+    #: (``repro.analysis``).  Empty means "not sliceable": per-site cache
+    #: keys fall back to the whole-spec digest and no reachability
+    #: pruning happens.
+    source_modules: Tuple[str, ...] = ()
+    _slices: Optional["SliceAnalysis"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.env_port is not None:
             self.env_port.register_sites(self.registry)
 
-    def digest(self) -> str:
-        """Content digest of the declared system structure.
+    def slice_analysis(self) -> Optional["SliceAnalysis"]:
+        """Slice this system's :attr:`source_modules` (memoized per spec).
 
-        Covers the name, the declared :attr:`version`, every site
-        definition (id, kind, function, metadata), and the workload
-        inventory (test ids, durations, and sim configs).  Experiment
-        caches key on this, so adding/removing/redefining a site or
-        workload — or bumping :attr:`version` — invalidates all cached
-        results for the system.
+        The analysis is a pure function of the source files and the
+        registry, so worker processes recomputing it from a pickled
+        :class:`~repro.core.driver.ExperimentTask` arrive at bit-identical
+        slice digests — and therefore identical cache keys.
         """
-        import hashlib
-        import json
+        if self._slices is None and self.source_modules:
+            from ..analysis import analyze_system
+            from ..analysis.source import live_sources
 
+            self._slices = analyze_system(self, live_sources(self.source_modules))
+            self.registry.attach_slice_digests(self._slices)
+        return self._slices
+
+    def attach_slice_analysis(self, slices: "SliceAnalysis") -> None:
+        """Inject a pre-computed analysis (tests and ``repro diff-run``
+        slice *other* source text — a patched tree, a git ref — against
+        this spec's registry and workloads)."""
+        self._slices = slices
+        self.registry.attach_slice_digests(slices)
+
+    def _sites_payload(self) -> List[List[str]]:
         sites = []
         for site in sorted(self.registry, key=lambda s: s.site_id):
             sites.append(
@@ -111,19 +132,66 @@ class SystemSpec:
                     repr(site.env),
                 ]
             )
+        return sites
+
+    def digest(self) -> str:
+        """Content digest of the declared system structure.
+
+        Covers the name, the declared :attr:`version`, every site
+        definition (id, kind, function, metadata), and the workload
+        inventory (test ids, durations, and sim configs).  Since
+        ``CACHE_SCHEMA`` 3 this whole-spec digest is only the cache-key
+        *fallback* for slice-unresolved sites; resolved entries key on
+        :meth:`sites_digest`, the test's :meth:`workload_row`, and the
+        site's slice digest instead.
+        """
+        import hashlib
+        import json
+
         payload = {
             "name": self.name,
             "version": self.version,
-            "sites": sites,
+            "sites": self._sites_payload(),
             "workloads": [
                 # sim_config feeds SimEnv directly (timeouts, latencies),
                 # so it is declared result-affecting data like duration.
-                [t, self.workloads[t].duration_ms, repr(self.workloads[t].sim_config)]
-                for t in self.workload_ids()
+                self.workload_row(t) for t in self.workload_ids()
             ],
         }
         blob = json.dumps(payload, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
+
+    def sites_digest(self) -> str:
+        """Digest of the full site inventory (every site's id, kind, and
+        metadata) plus name and version — *without* the workload list.
+
+        Experiment results can structurally depend on every registered
+        site (traces record all of them, and loop parent/sibling rows
+        feed the FCA edge derivation), but not on what other workloads
+        exist; cache keys therefore embed this instead of :meth:`digest`.
+        """
+        import hashlib
+        import json
+
+        payload = {
+            "name": self.name,
+            "version": self.version,
+            "sites": self._sites_payload(),
+        }
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def workload_row(self, test_id: str) -> List[object]:
+        """The result-affecting declaration of one workload (cache-key
+        component of every profile/experiment entry for that test).
+
+        Unknown test ids get a null row: they cannot execute, so their
+        keys only need to be stable and distinct per id.
+        """
+        wl = self.workloads.get(test_id)
+        if wl is None:
+            return [test_id, None, None]
+        return [test_id, wl.duration_ms, repr(wl.sim_config)]
 
     def add_workload(self, spec: WorkloadSpec) -> None:
         if spec.test_id in self.workloads:

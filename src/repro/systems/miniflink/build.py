@@ -9,7 +9,11 @@ from .sites import build_registry
 
 
 def build_system() -> SystemSpec:
-    spec = SystemSpec(name="miniflink", registry=build_registry())
+    spec = SystemSpec(
+        name="miniflink",
+        registry=build_registry(),
+        source_modules=("repro.systems.miniflink.nodes", "repro.workloads.flink"),
+    )
     for workload in flink_workloads():
         spec.add_workload(workload)
     spec.known_bugs = [

@@ -9,7 +9,11 @@ from .sites import build_registry
 
 
 def build_system() -> SystemSpec:
-    spec = SystemSpec(name="minihbase", registry=build_registry())
+    spec = SystemSpec(
+        name="minihbase",
+        registry=build_registry(),
+        source_modules=("repro.systems.minihbase.nodes", "repro.workloads.hbase"),
+    )
     for workload in hbase_workloads():
         spec.add_workload(workload)
     spec.known_bugs = [

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional
 
-from ...errors import IOEx, PrematureEndOfFile
+from ...errors import IOEx
 from ...instrument.runtime import Runtime
 from ...sim import Node, SimEnv
 

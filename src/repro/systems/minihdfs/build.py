@@ -11,7 +11,17 @@ from .sites import build_registry
 def build_system(version: int = 2) -> SystemSpec:
     if version not in (2, 3):
         raise ValueError("MiniHDFS supports versions 2 and 3")
-    spec = SystemSpec(name="minihdfs%d" % version, registry=build_registry(version))
+    spec = SystemSpec(
+        name="minihdfs%d" % version,
+        registry=build_registry(version),
+        source_modules=(
+            "repro.systems.minihdfs.client",
+            "repro.systems.minihdfs.datanode",
+            "repro.systems.minihdfs.hconfig",
+            "repro.systems.minihdfs.namenode",
+            "repro.workloads.hdfs",
+        ),
+    )
     for workload in hdfs_workloads(version):
         spec.add_workload(workload)
     if version == 2:

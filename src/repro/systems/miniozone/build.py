@@ -9,7 +9,11 @@ from .sites import build_registry
 
 
 def build_system() -> SystemSpec:
-    spec = SystemSpec(name="miniozone", registry=build_registry())
+    spec = SystemSpec(
+        name="miniozone",
+        registry=build_registry(),
+        source_modules=("repro.systems.miniozone.nodes", "repro.workloads.ozone"),
+    )
     for workload in ozone_workloads():
         spec.add_workload(workload)
     spec.known_bugs = [

@@ -18,7 +18,8 @@ ENV_PORT = EnvFaultPort(
 
 def build_system() -> SystemSpec:
     spec = SystemSpec(
-        name="miniraft", version="2", registry=build_registry(), env_port=ENV_PORT
+        name="miniraft", version="2", registry=build_registry(), env_port=ENV_PORT,
+        source_modules=("repro.systems.miniraft.nodes", "repro.workloads.raft"),
     )
     for workload in raft_workloads():
         spec.add_workload(workload)

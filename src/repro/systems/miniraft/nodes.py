@@ -38,7 +38,7 @@ election-timeout detector trips, and the fresh leader — which treats
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ...errors import IOEx
 from ...instrument.runtime import Runtime
@@ -342,6 +342,23 @@ class RaftNode(Node):
             self.commit_index = max(self.commit_index, snap_index)
             self.last_applied = max(self.last_applied, snap_index)
             return (self.term, True)
+
+    def compact_log_legacy(self) -> int:
+        """Pre-snapshot log compaction, superseded by install_snapshot.
+
+        Dead code: no workload path or peer RPC calls it anymore, but its
+        instrumented loop (``ldr.compact.scan``) is still in the site
+        registry — exactly the situation the code-slice reachability
+        analysis exists for.  The analyzer proves the site unreachable
+        from every workload entry point and prunes its faults from the
+        space instead of spending injection budget on experiments that
+        cannot perturb any run.
+        """
+        removed = 0
+        for _ in self.rt.loop("ldr.compact.scan", range(max(0, self.snap_index))):
+            self.env.spin(self.cfg.chunk_cost_ms)
+            removed += 1
+        return removed
 
     # ------------------------------------------------------------ elections
 

@@ -288,7 +288,10 @@ ENV_PORT = EnvFaultPort(
 
 
 def build_system() -> SystemSpec:
-    spec = SystemSpec(name=SYSTEM, registry=REGISTRY, env_port=ENV_PORT)
+    spec = SystemSpec(
+        name=SYSTEM, registry=REGISTRY, env_port=ENV_PORT,
+        source_modules=("repro.systems.toy",),
+    )
     spec.add_workload(WorkloadSpec("toy.big_batches", _wl_big_batches.__doc__ or "", _wl_big_batches))
     spec.add_workload(
         WorkloadSpec("toy.retry_clients", _wl_retry_clients.__doc__ or "", _wl_retry_clients)

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import UnknownSite
 from repro.instrument import SiteRegistry
 from repro.instrument.analyzer import StaticAnalyzer, analyze
-from repro.types import InjKind, SiteKind
+from repro.types import InjKind
 
 
 def test_throw_sites_become_exception_faults():
@@ -22,8 +22,8 @@ def test_reflection_and_security_exceptions_excluded():
     reg.throw("s.ok", "F.c")
     result = analyze(reg)
     assert result.fault_sites() == ["s.ok"]
-    assert "reflection" in result.excluded["s.refl"]
-    assert "security" in result.excluded["s.sec"]
+    assert any("reflection" in r for r in result.excluded["s.refl"])
+    assert any("security" in r for r in result.excluded["s.sec"])
 
 
 def test_test_only_exceptions_excluded():

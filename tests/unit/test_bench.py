@@ -40,6 +40,10 @@ def test_bench_campaign_smoke(tmp_path):
     assert thread["identical_to_serial"]
     assert thread["digest"] == serial["digest"]
     assert set(serial["phases"]) == {"analyze", "profile", "allocate", "search", "report"}
+    # the code-slice analysis stats ride along for slicer-regression CI
+    analysis = result["analysis"]
+    assert analysis["functions"] > 0 and analysis["call_edges"] > 0
+    assert analysis["wall_total_s"] >= 0 and analysis["reachability_trusted"]
 
     out = tmp_path / "bench.json"
     write_bench_json(result, str(out))

@@ -118,17 +118,23 @@ def test_spec_structure_and_version_invalidate(tmp_path):
 
 
 def test_workload_sim_config_participates_in_digest(tmp_path):
-    """sim_config feeds SimEnv directly, so editing it must invalidate."""
+    """sim_config feeds SimEnv directly, so editing it must invalidate —
+    but only the edited test's entries (schema 3 keys embed one workload
+    row, not the whole inventory)."""
     from repro.config import SimConfig
 
     config = CSnakeConfig(seed=1)
     spec = get_system("toy")
-    base_key = ExperimentCache(tmp_path, spec, config).experiment_key("t", FAULT, PLANS)
+    first, second = spec.workload_ids()[:2]
+    base = ExperimentCache(tmp_path, spec, config)
+    base_key = base.experiment_key(first, FAULT, PLANS)
+    other_key = base.experiment_key(second, FAULT, PLANS)
     tweaked = get_system("toy")
-    first = tweaked.workload_ids()[0]
     tweaked.workloads[first].sim_config = SimConfig(rpc_timeout_ms=5_000.0)
-    tweaked_key = ExperimentCache(tmp_path, tweaked, config).experiment_key("t", FAULT, PLANS)
-    assert tweaked_key != base_key
+    tweaked_cache = ExperimentCache(tmp_path, tweaked, config)
+    assert tweaked_cache.experiment_key(first, FAULT, PLANS) != base_key
+    # Entries of the *untouched* workload survive the edit.
+    assert tweaked_cache.experiment_key(second, FAULT, PLANS) == other_key
 
 
 def test_bench_refuses_prepopulated_cache_dir(tmp_path):

@@ -153,3 +153,68 @@ def test_run_parallel_matches_serial(tmp_path, capsys):
     main(args + ["--parallel", "3"])
     parallel = json.loads(capsys.readouterr().out)
     assert serial == parallel
+
+
+def test_analyze_command_text(capsys):
+    assert main(["analyze", "miniraft"]) == 0
+    out = capsys.readouterr().out
+    assert "slices:" in out and "fault space:" in out
+    # the dead demo site is excluded by the reachability analysis
+    assert "statically unreachable from any workload entry point" in out
+    # registry entries whose code does not exist stay unresolved (unpruned)
+    assert "unresolved raft.sec.cert_check" in out
+
+
+def test_analyze_command_json(capsys):
+    assert main(["analyze", "miniraft", "--json"]) == 0
+    obj = json.loads(capsys.readouterr().out)
+    assert obj["analysis"]["system"] == "miniraft"
+    slices = obj["slices"]
+    assert slices["site_digests"] and slices["entry_digests"]
+    assert "ldr.compact.scan" not in {f.rsplit(":", 1)[0] for f in obj["analysis"]["faults"]}
+    # stats are stable scalars: no wall-clock noise in the JSON form
+    assert not any(k.startswith("wall_") for k in slices["stats"])
+
+
+def test_analyze_env_kinds_change_fault_space(capsys):
+    assert main(["analyze", "miniraft", "--fault-kinds", "all", "--json"]) == 0
+    obj = json.loads(capsys.readouterr().out)
+    assert any(f.endswith(":partition") for f in obj["analysis"]["faults"])
+
+
+def _edited_tree(tmp_path):
+    from pathlib import Path
+
+    from examples.diffrun.edit_miniraft import make_edited_tree
+
+    repo = Path(__file__).resolve().parents[2]
+    return str(make_edited_tree(tmp_path / "edited", repo))
+
+
+def test_diff_run_static_only_json(tmp_path, capsys):
+    edited = _edited_tree(tmp_path)
+    rc = main(["diff-run", ".", edited, "--system", "miniraft", "--static-only", "--json"])
+    obj = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert obj["static"]["source_changed"]
+    assert obj["static"]["functions"]["changed"] == [
+        "repro.systems.miniraft.nodes:RaftNode.install_snapshot"
+    ]
+    assert obj["experiments"]["invalidated"] and obj["experiments"]["reusable"]
+    assert obj["reports"] is None  # static-only: no campaigns were run
+
+
+def test_diff_run_static_only_identical_sides(tmp_path, capsys):
+    rc = main(["diff-run", ".", ".", "--system", "miniraft", "--static-only", "--json"])
+    obj = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert not obj["static"]["source_changed"]
+    assert obj["static"]["sites"]["changed"] == []
+    # unresolved registry sites are conservatively invalidated even here
+    assert set(obj["experiments"]["invalidated"]) <= {"E@raft.sec.cert_check"}
+
+
+def test_diff_run_rejects_unresolvable_operand(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["diff-run", "no-such-ref-xyz", ".", "--system", "miniraft",
+              "--static-only"])

@@ -1,7 +1,7 @@
 """Unit tests for the local compatibility check."""
 
 from repro.core.compat import CompatChecker
-from repro.types import LocalState, states_compatible
+from repro.types import states_compatible
 
 from tests.helpers import edge, exc, neg, state
 

@@ -12,7 +12,7 @@ recomputed there, which must not change a single bit of the output.
 import pytest
 
 from repro.config import CSnakeConfig
-from repro.pipeline import Pipeline, make_executor
+from repro.pipeline import Pipeline
 from repro.systems import get_system
 
 FAST = dict(repeats=2, delay_values_ms=(500.0, 8000.0), seed=7, budget_per_fault=2)

@@ -11,7 +11,6 @@ from repro.faults import (
     CLASSIC_FAULT_KINDS,
     EnvFaultPort,
     FaultModel,
-    all_models,
     expand_kinds,
     fault_models_digest,
     model_for,

@@ -5,7 +5,7 @@ import pytest
 from repro.config import CSnakeConfig
 from repro.core.fca import FaultCausalityAnalysis
 from repro.instrument import InjectionPlan, SiteRegistry
-from repro.types import EdgeType, InjKind
+from repro.types import EdgeType
 
 from tests.helpers import dly, event, exc, group, neg, run_trace, state
 

@@ -20,7 +20,7 @@ def spec():
 
 
 def test_registry_and_ground_truth(spec):
-    assert len(spec.registry) == 32  # 26 code sites + 3 node + 3 link env sites
+    assert len(spec.registry) == 33  # 27 code sites + 3 node + 3 link env sites
     assert len(spec.registry.env_sites()) == 6
     assert len(spec.workloads) == 8
     assert [b.bug_id for b in spec.known_bugs] == [

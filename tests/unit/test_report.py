@@ -6,7 +6,7 @@ from repro.systems.base import KnownBug, SystemSpec
 from repro.instrument.sites import SiteRegistry
 from repro.types import EdgeType
 
-from tests.helpers import dly, edge, exc, neg
+from tests.helpers import dly, edge, exc
 
 
 def make_spec():

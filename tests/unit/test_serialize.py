@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.core.report import DetectionReport
 from repro.instrument.analyzer import AnalysisResult
 from repro.instrument.plan import InjectionPlan
@@ -100,7 +98,7 @@ def test_analysis_roundtrip():
     analysis = AnalysisResult(
         system="toy",
         faults=[exc("a"), dly("b")],
-        excluded={"c": "test-only"},
+        excluded={"c": ["test-only", "statically unreachable from any workload entry point"]},
         counts={"injectable": 2},
     )
     back = analysis_from_obj(_via_json(analysis_to_obj(analysis)))
@@ -108,6 +106,16 @@ def test_analysis_roundtrip():
     assert back.faults == analysis.faults
     assert back.excluded == analysis.excluded
     assert back.counts == analysis.counts
+
+
+def test_analysis_from_obj_reads_legacy_scalar_reasons():
+    """Pre-slice sessions stored one reason string per excluded site."""
+    analysis = AnalysisResult(
+        system="toy", faults=[exc("a")], excluded={"c": ["test-only"]}, counts={}
+    )
+    obj = _via_json(analysis_to_obj(analysis))
+    obj["excluded"] = {"c": "test-only"}
+    assert analysis_from_obj(obj).excluded == {"c": ["test-only"]}
 
 
 def test_clustering_roundtrip():

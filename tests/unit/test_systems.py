@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.config import CSnakeConfig
 from repro.core.driver import _seed_for, run_workload
 from repro.instrument.analyzer import analyze
 from repro.systems import available_systems, evaluation_systems, get_system
