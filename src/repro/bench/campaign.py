@@ -139,6 +139,55 @@ def measure_analysis(system: str) -> Optional[Dict[str, Any]]:
     return analyze_system(spec, live_sources(spec.source_modules)).stats()
 
 
+def _schedule_campaign_section(
+    backends: Sequence[str],
+    workers: int,
+    cache_dir: Optional[str],
+    schedules: Optional[Sequence[str]],
+    adaptive_budget: bool,
+) -> Dict[str, Any]:
+    """The composed-schedule benchmark: a reduced miniraft campaign with
+    fault schedules (and, by default, adaptive budget) enabled, per
+    backend.  Records the same digest/parity bits as the main campaign —
+    with a shared ``cache_dir`` the serial reference runs cold and every
+    later backend warm, so the parity bits double as the cache-cold ≡
+    cache-warm check for scheduled, adaptive campaigns.
+    """
+    from ..faults import registered_schedules
+
+    names = tuple(schedules) if schedules is not None else tuple(registered_schedules())
+    config = CSnakeConfig(
+        repeats=2,
+        delay_values_ms=(500.0, 8000.0),
+        seed=7,
+        budget_per_fault=2,
+        schedules=names,
+        adaptive_budget=adaptive_budget,
+    )
+    if cache_dir is not None:
+        import dataclasses
+
+        config = dataclasses.replace(
+            config, cache_dir=os.path.join(cache_dir, "schedules")
+        )
+    system = "miniraft"
+    ordered = ["serial"] + [b for b in backends if b != "serial"]
+    results: Dict[str, Any] = {}
+    for backend in ordered:
+        results[backend] = _campaign_once(system, config, backend, workers)
+    reference = results["serial"]
+    for entry in results.values():
+        entry["speedup_vs_serial"] = round(reference["wall_s"] / entry["wall_s"], 3)
+        entry["identical_to_serial"] = entry["digest"] == reference["digest"]
+    return {
+        "system": system,
+        "schedules": list(names),
+        "adaptive_budget": adaptive_budget,
+        "config": config.to_dict(),
+        "backends": results,
+    }
+
+
 def bench_campaign(
     system: Optional[str] = None,
     workers: Optional[int] = None,
@@ -148,6 +197,8 @@ def bench_campaign(
     cache_dir: Optional[str] = None,
     fault_kinds: Optional[Sequence[str]] = None,
     sweep_overrides: Optional[Sequence] = None,
+    schedules: Optional[Sequence[str]] = None,
+    adaptive_budget: bool = True,
 ) -> Dict[str, Any]:
     """Benchmark one system's campaign across executor backends.
 
@@ -216,6 +267,9 @@ def bench_campaign(
         "config": config.to_dict(),
         "backends": results,
         "analysis": measure_analysis(system),
+        "schedule_campaign": _schedule_campaign_section(
+            backends, workers, cache_dir, schedules, adaptive_budget
+        ),
     }
     if overhead:
         out["agent_overhead"] = measure_agent_overhead(
@@ -253,4 +307,11 @@ def check_regression(
     for backend, entry in result["backends"].items():
         if not entry.get("identical_to_serial", True):
             failures.append("backend %r diverged from the serial reference" % backend)
+    schedule = result.get("schedule_campaign") or {}
+    for backend, entry in schedule.get("backends", {}).items():
+        if not entry.get("identical_to_serial", True):
+            failures.append(
+                "schedule campaign backend %r diverged from the serial reference"
+                % backend
+            )
     return failures

@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from .config import EXECUTION_ONLY_KNOBS, CSnakeConfig
 from .core.fca import FcaResult
-from .faults import fault_models_digest
+from .faults import fault_models_digest, model_for, schedules_digest
 from .instrument.plan import InjectionPlan
 from .instrument.trace import RunGroup
 from .serialize import (
@@ -67,7 +67,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import
 #:       resolve the site (``slice_unresolved``) or the system declares
 #:       no ``source_modules``.  Editing one handler now invalidates
 #:       exactly the entries whose slice can reach it.
-CACHE_SCHEMA = 3
+#:   4 — compositional fault schedules: every key embeds the schedule
+#:       registry digest, and an experiment key's slice component is the
+#:       *union* of the slices of every site its plans touch
+#:       (``FaultModel.plan_sites``) — a composed schedule's entry goes
+#:       stale when any of its constituent sites' code changes, not just
+#:       the anchor site's.
+CACHE_SCHEMA = 4
 
 
 def result_affecting_config(config: CSnakeConfig) -> Dict[str, Any]:
@@ -100,6 +106,7 @@ class ExperimentCache:
         self.spec_digest = spec.digest()
         self.sites_digest = spec.sites_digest()
         self.models_digest = fault_models_digest()
+        self.schedules_digest = schedules_digest()
         self.config_snapshot = result_affecting_config(config)
         self.hits = 0
         self.misses = 0
@@ -149,10 +156,11 @@ class ExperimentCache:
             # This test's declared duration and sim config; *other*
             # workloads cannot affect this entry and are not keyed.
             "workload": self.spec.workload_row(test_id),
-            # Registry fingerprint: registering or revising a fault model
-            # shifts every key, so results computed under a different
-            # fault vocabulary can never replay as hits.
+            # Registry fingerprints: registering or revising a fault model
+            # or a fault schedule shifts every key, so results computed
+            # under a different fault vocabulary can never replay as hits.
             "fault_models": self.models_digest,
+            "schedules": self.schedules_digest,
             "config": self.config_snapshot,
         }
         material.update(payload)
@@ -172,13 +180,17 @@ class ExperimentCache:
     ) -> str:
         """Key of one (fault, test) injection experiment (its full plan
         sweep counts as one entry, mirroring one budget unit)."""
+        model = model_for(fault.kind)
+        touched = sorted({site for p in plans for site in model.plan_sites(p)})
         return self._digest(
             "experiment",
             {
                 "test_id": test_id,
                 "fault": fault_to_obj(fault),
                 "plans": [plan_to_obj(p) for p in plans],
-                "slice": self._site_slice(fault.site_id),
+                # Slice union over every site the plans touch: one entry
+                # per site so any constituent's code change misses.
+                "slices": [[site, self._site_slice(site)] for site in touched],
             },
             test_id=test_id,
         )

@@ -27,7 +27,15 @@ from .config import CSnakeConfig
 from .core.driver import ExperimentDriver
 from .core.report import DetectionReport
 from .errors import ReproError
-from .faults import all_models, expand_kinds, registered_kinds
+from .faults import (
+    all_models,
+    all_schedules,
+    expand_kinds,
+    expand_schedules,
+    registered_kinds,
+    registered_schedules,
+    schedule_model_for,
+)
 from .pipeline import (
     BACKENDS,
     STAGE_NAMES,
@@ -68,16 +76,24 @@ def _parse_fault_kinds(text: str) -> tuple:
         raise SystemExit(str(exc))
 
 
+def _parse_schedules(text: str) -> tuple:
+    try:
+        return expand_schedules(text)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
 def _parse_sweeps(entries: List[str]) -> tuple:
     """``--sweep KIND=V1,V2,...`` entries -> config ``sweep_overrides``."""
     overrides = []
+    known = registered_kinds() + registered_schedules()
     for entry in entries:
         kind, eq, values = entry.partition("=")
         kind = kind.strip()
-        if not eq or kind not in registered_kinds():
+        if not eq or kind not in known:
             raise SystemExit(
                 "--sweep must look like '<kind>=V1,V2,...' with kind one of %s, got %r"
-                % (", ".join(registered_kinds()), entry)
+                % (", ".join(known), entry)
             )
         try:
             parsed = tuple(float(v) for v in values.split(",") if v.strip())
@@ -114,6 +130,10 @@ def _config(args: argparse.Namespace) -> CSnakeConfig:
         params["delay_values_ms"] = _parse_delays(args.delays)
     if getattr(args, "fault_kinds", None) is not None:
         params["fault_kinds"] = _parse_fault_kinds(args.fault_kinds)
+    if getattr(args, "schedules", None) is not None:
+        params["schedules"] = _parse_schedules(args.schedules)
+    if getattr(args, "adaptive_budget", False):
+        params["adaptive_budget"] = True
     if getattr(args, "sweep", None):
         params["sweep_overrides"] = _parse_sweeps(args.sweep)
     workers = getattr(args, "workers", None)
@@ -244,6 +264,10 @@ def cmd_list(_args: argparse.Namespace) -> int:
                 bug_ids,
             )
         )
+    print(
+        "fault schedules: %s (enable with --schedules; see 'repro faults')"
+        % (", ".join(registered_schedules()) or "-")
+    )
     return 0
 
 
@@ -266,6 +290,18 @@ def cmd_faults(args: argparse.Namespace) -> int:
             "  %-10s %s  sites: %-18s sweep %s%s"
             % (model.kind_id, model.char, targets, knobs, flags)
         )
+    print("registered fault schedules:")
+    for schedule in all_schedules():
+        events = "; ".join(
+            "%s@%s+%gms%s" % (
+                ev.kind_id,
+                ev.site,
+                ev.offset_ms,
+                " stagger %gms" % ev.stagger_ms if ev.stagger_ms else "",
+            )
+            for ev in schedule.events
+        )
+        print("  %-24s %s  %s" % (schedule.name, schedule.char, events))
     systems = [args.system] if args.system else available_systems()
     print("injectable environment sites:")
     for name in systems:
@@ -277,6 +313,16 @@ def cmd_faults(args: argparse.Namespace) -> int:
         nodes = [s for s in sites if s.startswith("env.node.")]
         links = [s for s in sites if s.startswith("env.link.")]
         print("  %-12s %s" % (name, ", ".join(nodes + links)))
+    print("schedule anchor sites (per schedule, per system):")
+    for name in systems:
+        spec = get_system(name)
+        for schedule_name in registered_schedules():
+            model = schedule_model_for(schedule_name)
+            anchors = model.anchor_sites(spec.registry)
+            print(
+                "  %-12s %-24s %s"
+                % (name, schedule_name, ", ".join(anchors) or "(none)")
+            )
     return 0
 
 
@@ -319,12 +365,17 @@ def cmd_resume(args: argparse.Namespace) -> int:
     result_overrides = {}
     if getattr(args, "fault_kinds", None) is not None:
         result_overrides["fault_kinds"] = _parse_fault_kinds(args.fault_kinds)
+    if getattr(args, "schedules", None) is not None:
+        result_overrides["schedules"] = _parse_schedules(args.schedules)
+    if getattr(args, "adaptive_budget", False):
+        result_overrides["adaptive_budget"] = True
     if getattr(args, "sweep", None):
         result_overrides["sweep_overrides"] = _parse_sweeps(args.sweep)
     if result_overrides:
-        # Fault kinds and sweeps are result-affecting: they must match what
-        # the session was created with, or the stored artifacts would mix
-        # with a different campaign — verify raises a clear mismatch error.
+        # Fault kinds, schedules, adaptivity, and sweeps are
+        # result-affecting: they must match what the session was created
+        # with, or the stored artifacts would mix with a different
+        # campaign — verify raises a clear mismatch error.
         config = dataclasses.replace(config, **result_overrides)
         session.verify(session.system, config)
     return _run_pipeline(session.system, config, args, session, None)
@@ -339,7 +390,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     spec = get_system(args.system)
     slices = spec.slice_analysis()
     kinds = _parse_fault_kinds(args.fault_kinds) if args.fault_kinds else None
-    result = analyze(spec.registry, kinds, slices=slices)
+    schedules = _parse_schedules(args.schedules) if args.schedules else None
+    result = analyze(spec.registry, kinds, slices=slices, schedules=schedules)
     if args.json:
         obj = {"analysis": analysis_to_obj(result), "slices": None}
         if slices is not None:
@@ -412,11 +464,14 @@ def _diffrun_campaign(root, args, cache_dir: str):
         ("--repeats", args.repeats),
         ("--delays", args.delays),
         ("--fault-kinds", args.fault_kinds),
+        ("--schedules", args.schedules),
         ("--backend", args.backend),
         ("--workers", args.workers),
     ):
         if value is not None:
             cmd += [flag, str(value)]
+    if getattr(args, "adaptive_budget", False):
+        cmd += ["--adaptive-budget"]
     for entry in args.sweep or []:
         cmd += ["--sweep", entry]
     env = dict(os.environ, PYTHONPATH=pythonpath)
@@ -562,6 +617,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         cache_dir=_cache_dir(args),
         fault_kinds=_parse_fault_kinds(args.fault_kinds) if args.fault_kinds else None,
         sweep_overrides=_parse_sweeps(args.sweep) if args.sweep else None,
+        schedules=_parse_schedules(args.schedules) if args.schedules else None,
+        adaptive_budget=args.adaptive_budget,
     )
     write_bench_json(result, args.out)
     for backend in backends:
@@ -600,8 +657,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 analysis["wall_slice_s"],
             )
         )
+    schedule = result.get("schedule_campaign")
+    if schedule:
+        for backend in backends:
+            entry = schedule["backends"].get(backend)
+            if entry is None:
+                continue
+            print(
+                "schedule %-8s %7.3fs  %s"
+                % (
+                    backend,
+                    entry["wall_s"],
+                    "identical" if entry["identical_to_serial"] else "DIVERGED",
+                )
+            )
     print("wrote %s" % args.out)
-    if any(not result["backends"][b]["identical_to_serial"] for b in backends):
+    diverged = any(not result["backends"][b]["identical_to_serial"] for b in backends)
+    if schedule:
+        diverged = diverged or any(
+            not e["identical_to_serial"] for e in schedule["backends"].values()
+        )
+    if diverged:
         print("error: parallel backend diverged from serial", file=sys.stderr)
         return 1
     if args.check:
@@ -682,12 +758,28 @@ def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
         "enables the environment kinds — see 'repro faults')",
     )
     parser.add_argument(
+        "--schedules",
+        default=None,
+        metavar="S,S,...|all",
+        help="composed fault schedules to inject, by registered schedule "
+        "name (default: none; 'all' enables every registered schedule — "
+        "see 'repro faults')",
+    )
+    parser.add_argument(
+        "--adaptive-budget",
+        action="store_true",
+        help="reallocate a share of the phase-2/3 budget toward the "
+        "(fault, test) pairs whose early p-values look promising "
+        "(deterministic: identical across serial/thread/process backends)",
+    )
+    parser.add_argument(
         "--sweep",
         action="append",
         default=None,
         metavar="KIND=V1,V2,...",
-        help="override one fault kind's parameter sweep (repeatable), e.g. "
-        "--sweep partition=10000,30000 --sweep msg_drop=0.5",
+        help="override one fault kind's or schedule's parameter sweep "
+        "(repeatable), e.g. --sweep partition=10000,30000 --sweep "
+        "membership_churn=1,2",
     )
 
 
@@ -750,6 +842,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="K,K,...|all|classic",
         help="fault kinds to include in the reported fault space",
+    )
+    analyze.add_argument(
+        "--schedules",
+        default=None,
+        metavar="S,S,...|all",
+        help="composed fault schedules to include in the reported fault space",
     )
     analyze.add_argument(
         "--json", action="store_true", help="print the analysis as JSON"

@@ -76,9 +76,16 @@ class CSnakeConfig:
     #: (node_crash, partition, msg_drop) on systems that declare an
     #: :class:`~repro.faults.EnvFaultPort`.
     fault_kinds: Tuple[str, ...] = ("exception", "delay", "negation")
+    #: Fault *schedules* this campaign injects, by registered schedule
+    #: name (``repro.faults.schedule``).  Off by default: schedules are
+    #: k-fault compositions (a partition during a crash-restart,
+    #: membership churn waves) anchored at ``ENV_NODE`` sites, and a
+    #: campaign opts in per schedule via ``--schedules``.
+    schedules: Tuple[str, ...] = ()
     #: Per-kind sweep overrides: ``(("partition", (10_000.0,)), ...)``
     #: replaces the named fault model's default parameter sweep.  The
     #: ``--delays`` flag is shorthand for overriding the ``delay`` sweep.
+    #: Schedule names are accepted too (they sweep a ``time_scale``).
     sweep_overrides: Tuple[Tuple[str, Tuple[float, ...]], ...] = ()
     #: Default parameter sweeps of the environment fault models.
     crash_restart_values_ms: Tuple[float, ...] = CRASH_RESTART_VALUES_MS
@@ -113,6 +120,12 @@ class CSnakeConfig:
     seed: int = 1234
     #: Whether stitching applies the local compatibility check (§6.2).
     compat_check: bool = True
+    #: Adaptive budget allocation: carve a pool out of the phase-2/3
+    #: budgets and reallocate it toward the faults whose committed FCA
+    #: results show the most promising (lowest) loop-interference
+    #: p-values.  Reallocation is decided only from committed results in
+    #: schedule order, so serial ≡ thread ≡ process parity survives.
+    adaptive_budget: bool = False
     #: Number of worker threads for the parallel beam search (1 = serial).
     beam_workers: int = 1
     #: Number of workers for profile and injection experiments
@@ -168,9 +181,18 @@ class CSnakeConfig:
                 "unknown fault kind(s) %s; registered: %s"
                 % (", ".join(unknown), ", ".join(sorted(registered)))
             )
+        schedules = set(faults.registered_schedules())
+        unknown = [s for s in self.schedules if s not in schedules]
+        if unknown:
+            raise ConfigError(
+                "unknown fault schedule(s) %s; registered: %s"
+                % (", ".join(unknown), ", ".join(sorted(schedules)))
+            )
         for kind, values in self.sweep_overrides:
-            if kind not in registered:
-                raise ConfigError("sweep override names unknown fault kind %r" % (kind,))
+            if kind not in registered and kind not in schedules:
+                raise ConfigError(
+                    "sweep override names unknown fault kind or schedule %r" % (kind,)
+                )
             if not values:
                 raise ConfigError("sweep override for %r needs at least one value" % (kind,))
             try:
@@ -218,6 +240,7 @@ class CSnakeConfig:
         for name in (
             "delay_values_ms",
             "fault_kinds",
+            "schedules",
             "crash_restart_values_ms",
             "partition_values_ms",
             "drop_prob_values",

@@ -17,6 +17,16 @@ steps *between* phases.  The allocator exploits this: with an executor it
 schedules a whole phase first, then flushes the scheduled experiments as
 one parallel batch, committing results in schedule order.  A parallel
 allocation is therefore bit-identical to a serial one.
+
+**Adaptive budget** (``CSnakeConfig.adaptive_budget``): a quarter of the
+phase-two and phase-three quotas is carved into a reallocation pool spent
+on the faults whose committed experiments showed the most *promising*
+(smallest) loop-interference p-values — "almost significant" faults earn
+extra repeats.  To preserve the parity guarantee above, the promise
+ranking is computed only from already-flushed results, frozen before the
+pool is spent, and ties break on the fault sort order; no RNG draw and no
+mid-batch result ever feeds an adaptive decision, so serial, thread, and
+process campaigns still commit identical records.
 """
 
 from __future__ import annotations
@@ -151,6 +161,58 @@ class ThreePhaseAllocator:
             (r.fault, vectorizer.vectorize(r.result.interference)) for r in self.outcome.records
         ]
 
+    # -------------------------------------------------------------- adaptive
+
+    def _adaptive_split(self, budget: int) -> Tuple[int, int]:
+        """Carve the adaptive reallocation pool (a quarter) off a phase
+        quota; ``(budget, 0)`` when adaptivity is off."""
+        if not self.config.adaptive_budget or budget <= 1:
+            return budget, 0
+        pool = budget // 4
+        return budget - pool, pool
+
+    def _promising_faults(self) -> List[FaultKey]:
+        """Faults ranked by their best committed loop p-value (ascending:
+        most promising first; ties break on the fault sort order)."""
+        promise: Dict[FaultKey, float] = {}
+        for record in self.outcome.records:
+            result = record.result
+            if result is None or result.min_p is None:
+                continue
+            best = promise.get(record.fault)
+            if best is None or result.min_p < best:
+                promise[record.fault] = result.min_p
+        return sorted(promise, key=lambda f: (promise[f], f))
+
+    def _spend_adaptive(self, pool: int, phase: int) -> int:
+        """Spend the carved pool on the most promising faults.
+
+        The ranking is frozen from committed (flushed) results before the
+        first unit is spent — a serial backend's eagerly-available results
+        must not feed decisions a deferred batch cannot see — and spending
+        walks the ranking round-robin (one extra repeat per fault per
+        round) until the pool or the unused reaching tests run out.
+        Returns the unspendable remainder.
+        """
+        if pool <= 0:
+            return 0
+        ranked = self._promising_faults()
+        remaining = pool
+        progressed = True
+        while remaining > 0 and progressed:
+            progressed = False
+            for fault in ranked:
+                if remaining <= 0:
+                    break
+                unused = self._unused_tests(fault)
+                if not unused:
+                    continue
+                self._run(phase, fault, unused[0])
+                remaining -= 1
+                progressed = True
+        self._flush()
+        return remaining
+
     # ---------------------------------------------------------------- phases
 
     def _phase_one(self, budget: int) -> int:
@@ -241,14 +303,18 @@ class ThreePhaseAllocator:
         clustering = self._cluster_phase_one()
         self.outcome.clustering = clustering
 
-        leftover = self._phase_two(p2 + leftover, clustering)
+        p2_main, p2_pool = self._adaptive_split(p2 + leftover)
+        leftover = self._phase_two(p2_main, clustering)
         self._flush()
+        leftover += self._spend_adaptive(p2_pool, 2)
 
         observations = self._fit_and_vectorize()
         self.outcome.cluster_scores = cluster_sim_scores(clustering, observations)
 
-        self._phase_three(p3 + leftover, clustering)
+        p3_main, p3_pool = self._adaptive_split(p3 + leftover)
+        leftover = self._phase_three(p3_main, clustering)
         self._flush()
+        self._spend_adaptive(p3_pool + leftover, 3)
 
         observations = self._fit_and_vectorize()
         self.outcome.cluster_scores = cluster_sim_scores(clustering, observations)

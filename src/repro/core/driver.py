@@ -272,8 +272,14 @@ class ExperimentDriver:
     # ----------------------------------------------------------- experiments
 
     def _plans_for(self, fault: FaultKey) -> List[InjectionPlan]:
-        """The fault's plan sweep, as declared by its registered model."""
-        return model_for(fault.kind).plans_for(fault, self.config)
+        """The fault's plan sweep, as declared by its registered model.
+
+        Planned through :meth:`FaultModel.plans_for_spec` so models that
+        resolve plan content against the system topology (fault
+        schedules) see the site registry; single-fault models fall back
+        to their plain ``plans_for``.
+        """
+        return model_for(fault.kind).plans_for_spec(fault, self.config, self.spec.registry)
 
     def execute_experiment(self, fault: FaultKey, test_id: str) -> Tuple[FcaResult, int]:
         """Pure execution of one experiment: returns (FCA result, runs used).
@@ -297,11 +303,22 @@ class ExperimentDriver:
             group = RunGroup(test_id=test_id, injection=plan)
             for rep in range(self.config.repeats):
                 seed = _seed_for(test_id, rep, self.config.seed)
-                group.add(run_workload(self.spec, workload, plan, seed))
+                trace = run_workload(self.spec, workload, plan, seed)
+                group.add(trace)
                 runs += 1
+                if trace.saturated:
+                    # Graceful degradation: a runaway injection (e.g. a
+                    # composed schedule saturating the event loop) stops
+                    # at the sim step limit instead of raising; count the
+                    # aborted run and keep the campaign going.
+                    combined.aborted += 1
             partial = self.fca.analyze(profile, group)
             combined.edges.extend(partial.edges)
             interference.update(partial.interference)
+            if partial.min_p is not None and (
+                combined.min_p is None or partial.min_p < combined.min_p
+            ):
+                combined.min_p = partial.min_p
         combined.interference = sorted(interference)
         return combined, runs
 

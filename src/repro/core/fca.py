@@ -16,6 +16,7 @@ injection triggered:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -37,6 +38,14 @@ class FcaResult:
     #: The interference list I(f, t): additional faults triggered (direct
     #: interferences only; derived ICFG/CFG faults are not part of I).
     interference: List[FaultKey] = field(default_factory=list)
+    #: Smallest loop-interference p-value observed across *all* candidate
+    #: loop sites — including ones above the significance threshold — or
+    #: ``None`` when no loop candidates exist.  The adaptive allocator's
+    #: promise signal: "almost significant" experiments earn extra budget.
+    min_p: Optional[float] = None
+    #: Injection runs that hit the sim step limit (``SimEnv.MAX_EVENTS``)
+    #: and were stopped early instead of raising (runaway schedules).
+    aborted: int = 0
 
     @property
     def conditional_ready(self) -> bool:
@@ -109,6 +118,9 @@ class FaultCausalityAnalysis:
         controls = profile.loop_count_rows(loop_sites)
         pvalues = one_sided_t_pvalues(treatments, controls)
         for site_id, p in zip(loop_sites, pvalues):
+            p = float(p)
+            if math.isfinite(p) and (result.min_p is None or p < result.min_p):
+                result.min_p = p
             if p >= self.config.p_value:
                 continue
             dst = FaultKey(site_id, InjKind.DELAY)

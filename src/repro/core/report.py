@@ -76,6 +76,9 @@ class DetectionReport:
     budget_used: int = 0
     runs_executed: int = 0
     n_edges: int = 0
+    #: Injection runs stopped at the sim step limit (runaway composed
+    #: faults; graceful degradation — counted, campaign continues).
+    aborted_step_limit: int = 0
     cycles: List[Cycle] = field(default_factory=list)
     cycle_clusters: List[CycleCluster] = field(default_factory=list)
     bug_matches: List[BugMatch] = field(default_factory=list)
@@ -111,6 +114,7 @@ class DetectionReport:
             "tp_clusters": len(self.true_positive_clusters()),
             "bugs_detected": len(self.detected_bugs),
             "bugs_total": len(self.bug_matches),
+            "aborted_step_limit": self.aborted_step_limit,
         }
 
     # -------------------------------------------------------- serialization
@@ -127,6 +131,7 @@ class DetectionReport:
             "budget_used": self.budget_used,
             "runs_executed": self.runs_executed,
             "n_edges": self.n_edges,
+            "aborted_step_limit": self.aborted_step_limit,
             "summary": self.summary(),
             "cycles": [cycle_to_obj(c) for c in self.cycles],
             "cycle_clusters": [
@@ -157,6 +162,8 @@ class DetectionReport:
             budget_used=obj["budget_used"],
             runs_executed=obj["runs_executed"],
             n_edges=obj["n_edges"],
+            # .get: reports persisted before schedule support lack it.
+            aborted_step_limit=obj.get("aborted_step_limit", 0),
             cycles=[cycle_from_obj(c) for c in obj["cycles"]],
             cycle_clusters=[
                 CycleCluster(
@@ -222,6 +229,7 @@ def build_report(
     runs_executed: int = 0,
     n_edges: int = 0,
     edges: Optional[Sequence[CausalEdge]] = None,
+    aborted_step_limit: int = 0,
 ) -> DetectionReport:
     report = DetectionReport(
         system=spec.name,
@@ -230,6 +238,7 @@ def build_report(
         budget_used=budget_used,
         runs_executed=runs_executed,
         n_edges=n_edges,
+        aborted_step_limit=aborted_step_limit,
         cycles=list(cycles),
         cycle_clusters=cluster_cycles(cycles, clustering),
         bug_matches=match_bugs(spec, cycles, edges),

@@ -54,15 +54,27 @@ def register(model: FaultModel) -> FaultModel:
 
 
 def model_for(kind: Union[str, InjKind]) -> FaultModel:
-    """The registered model behind a kind id or :class:`InjKind` handle."""
+    """The registered model behind a kind id or :class:`InjKind` handle.
+
+    Falls back to the fault-*schedule* registry (``repro.faults.schedule``)
+    so a composed kind resolves everywhere a single-fault kind does —
+    plan validation, serialization codecs, FCA edge typing, signature
+    chars — without entering ``_MODELS`` (``expand_kinds("all")`` and
+    ``fault_models_digest()`` stay schedule-free).
+    """
     kind_id = kind.value if isinstance(kind, InjKind) else kind
-    try:
-        return _MODELS[kind_id]
-    except KeyError:
-        raise ValueError(
-            "no fault model registered for kind %r (known: %s)"
-            % (kind_id, ", ".join(_MODELS))
-        ) from None
+    model = _MODELS.get(kind_id)
+    if model is not None:
+        return model
+    from . import schedule as _schedule  # deferred: schedule imports this package
+
+    sched = _schedule._SCHEDULES.get(kind_id)
+    if sched is not None:
+        return sched
+    raise ValueError(
+        "no fault model registered for kind %r (known: %s)"
+        % (kind_id, ", ".join(list(_MODELS) + list(_schedule._SCHEDULES)))
+    )
 
 
 def all_models() -> List[FaultModel]:
@@ -126,6 +138,26 @@ register(NodeCrashFault())
 register(PartitionFault())
 register(MsgDropFault())
 
+# Compositional fault schedules live in their own registry; importing the
+# module (after the single-fault kinds exist — schedules compose them)
+# registers the bundled schedules and re-exports the combinator API.
+from .schedule import (  # noqa: E402  (models must register first)
+    FaultSchedule,
+    ScheduleFaultModel,
+    TimedFault,
+    all_schedules,
+    expand_schedules,
+    overlap,
+    register_schedule,
+    registered_schedules,
+    schedule_for,
+    schedule_model_for,
+    schedules_digest,
+    seq,
+    stagger,
+    timed,
+)
+
 __all__ = [
     "FaultModel",
     "EnvFaultPort",
@@ -138,4 +170,18 @@ __all__ = [
     "models_for_site_kind",
     "expand_kinds",
     "fault_models_digest",
+    "FaultSchedule",
+    "ScheduleFaultModel",
+    "TimedFault",
+    "timed",
+    "seq",
+    "overlap",
+    "stagger",
+    "register_schedule",
+    "schedule_for",
+    "schedule_model_for",
+    "all_schedules",
+    "registered_schedules",
+    "expand_schedules",
+    "schedules_digest",
 ]

@@ -25,13 +25,14 @@ docs/fault-model.md for a worked example.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
 from ..types import FaultKey, InjKind, SiteKind
 
-if False:  # pragma: no cover - import-time type names only
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports (cycle guard)
     from ..config import CSnakeConfig
     from ..instrument.plan import InjectionPlan
+    from ..instrument.sites import SiteRegistry
 
 
 class FaultModel:
@@ -92,6 +93,26 @@ class FaultModel:
     def plans_for(self, fault: FaultKey, config: "CSnakeConfig") -> List["InjectionPlan"]:
         """The plan sweep of one budget unit for ``fault``."""
         raise NotImplementedError
+
+    def plans_for_spec(
+        self, fault: FaultKey, config: "CSnakeConfig", registry: "SiteRegistry"
+    ) -> List["InjectionPlan"]:
+        """Like :meth:`plans_for`, with the target system's site registry.
+
+        Most kinds plan from ``(fault, config)`` alone; models that must
+        resolve plan content against the system topology (fault schedules
+        resolving site selectors) override this instead.
+        """
+        return self.plans_for(fault, config)
+
+    def plan_sites(self, plan: "InjectionPlan") -> List[str]:
+        """Every site a plan touches (cache slice-invalidation surface).
+
+        Single-fault plans touch only their own site; composed plans
+        (schedules) add every event's resolved site so an edit near any
+        of them invalidates the cached result.
+        """
+        return [plan.fault.site_id]
 
     def validate_sweep(self, values: Tuple[float, ...]) -> None:
         """Reject sweep values this model cannot plan with (``ValueError``).

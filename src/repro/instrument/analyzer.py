@@ -29,8 +29,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..config import LOOP_SIZE_PRUNE_FRAC
-from ..faults import CLASSIC_FAULT_KINDS
-from ..types import FaultKey, SiteKind
+from ..faults import CLASSIC_FAULT_KINDS, schedule_model_for
+from ..types import FaultKey, InjKind, SiteKind
 from .sites import FaultSite, SiteRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import (cycle guard)
@@ -61,8 +61,11 @@ class StaticAnalyzer:
     ``fault_kinds`` names the registered fault models the campaign may
     inject with (``CSnakeConfig.fault_kinds``); sites whose only models
     are disabled are excluded with an explanatory reason, exactly like
-    the paper's static filters.  ``slices`` (a
-    :class:`repro.analysis.SliceAnalysis`) enables the reachability rule.
+    the paper's static filters.  ``schedules`` names registered fault
+    *schedules* (``CSnakeConfig.schedules``): each enabled schedule adds
+    one composed fault per environment site it can anchor at.  ``slices``
+    (a :class:`repro.analysis.SliceAnalysis`) enables the reachability
+    rule.
     """
 
     def __init__(
@@ -71,6 +74,7 @@ class StaticAnalyzer:
         loop_prune_frac: float = LOOP_SIZE_PRUNE_FRAC,
         fault_kinds: Optional[Sequence[str]] = None,
         slices: Optional["SliceAnalysis"] = None,
+        schedules: Optional[Sequence[str]] = None,
     ) -> None:
         self.registry = registry
         self.loop_prune_frac = loop_prune_frac
@@ -78,6 +82,7 @@ class StaticAnalyzer:
             tuple(fault_kinds) if fault_kinds is not None else CLASSIC_FAULT_KINDS
         )
         self.slices = slices
+        self.schedules = tuple(schedules) if schedules is not None else ()
 
     def _enabled(self, kind_id: str) -> bool:
         return kind_id in self.fault_kinds
@@ -166,6 +171,19 @@ class StaticAnalyzer:
                 continue
             result.faults.extend(keys)
 
+    def _select_schedules(self, result: AnalysisResult) -> None:
+        """Composed fault schedules: one fault per (schedule, anchor site).
+
+        A schedule anchors at the environment node sites where all of its
+        site selectors resolve (a node with no adjacent link cannot anchor
+        a composition that needs one); the other events are resolved
+        relative to that anchor at planning time.
+        """
+        for name in self.schedules:
+            model = schedule_model_for(name)
+            for site_id in model.anchor_sites(self.registry):
+                result.faults.append(FaultKey(site_id, InjKind(name)))
+
     def _prune_unreachable(self, result: AnalysisResult) -> int:
         """Reachability rule: drop faults at sites the slice analysis
         proves unreachable from every workload entry point.  Applies to
@@ -198,6 +216,7 @@ class StaticAnalyzer:
         self._select_loops(result)
         self._select_detectors(result)
         self._select_env(result)
+        self._select_schedules(result)
         n_unreachable = self._prune_unreachable(result)
         result.faults.sort()
         result.counts = self.registry.counts()
@@ -214,7 +233,10 @@ def analyze(
     registry: SiteRegistry,
     fault_kinds: Optional[Sequence[str]] = None,
     slices: Optional["SliceAnalysis"] = None,
+    schedules: Optional[Sequence[str]] = None,
 ) -> AnalysisResult:
     """Convenience wrapper: run the static analyzer with default settings
     (``fault_kinds`` defaults to the paper's classic taxonomy)."""
-    return StaticAnalyzer(registry, fault_kinds=fault_kinds, slices=slices).analyze()
+    return StaticAnalyzer(
+        registry, fault_kinds=fault_kinds, slices=slices, schedules=schedules
+    ).analyze()

@@ -42,6 +42,7 @@ class StaticAnalysisStage(Stage):
                 ctx.spec.registry,
                 ctx.config.fault_kinds,
                 slices=ctx.spec.slice_analysis(),
+                schedules=ctx.config.schedules,
             ),
         )
 
@@ -149,6 +150,9 @@ class ReportStage(Stage):
                 # Trigger-gated bugs (env-fault ground truth) are matched
                 # against the campaign's discovered edge set.
                 edges=ctx.driver.edges.all_edges(),
+                # Runs that hit the sim step limit under a composed fault
+                # (graceful degradation: recorded, not raised).
+                aborted_step_limit=sum(r.aborted for r in ctx.driver.results),
             ),
         )
 

@@ -229,15 +229,21 @@ def fca_to_obj(result: FcaResult) -> Dict[str, Any]:
         "test_id": result.test_id,
         "edges": [edge_to_obj(e) for e in result.edges],
         "interference": [fault_to_obj(f) for f in result.interference],
+        "min_p": result.min_p,
+        "aborted": result.aborted,
     }
 
 
 def fca_from_obj(obj: Dict[str, Any]) -> FcaResult:
+    # ``min_p``/``aborted`` were added with fault schedules; sessions and
+    # cache entries written before then simply lack them.
     return FcaResult(
         fault=fault_from_obj(obj["fault"]),
         test_id=obj["test_id"],
         edges=[edge_from_obj(e) for e in obj["edges"]],
         interference=[fault_from_obj(f) for f in obj["interference"]],
+        min_p=obj.get("min_p"),
+        aborted=obj.get("aborted", 0),
     )
 
 

@@ -18,7 +18,7 @@ ENV_PORT = EnvFaultPort(
 
 def build_system() -> SystemSpec:
     spec = SystemSpec(
-        name="miniraft", version="2", registry=build_registry(), env_port=ENV_PORT,
+        name="miniraft", version="3", registry=build_registry(), env_port=ENV_PORT,
         source_modules=("repro.systems.miniraft.nodes", "repro.workloads.raft"),
     )
     for workload in raft_workloads():
@@ -117,6 +117,34 @@ def build_system() -> SystemSpec:
                 {
                     FaultKey(ENV_PORT.link_site_id(a, b), InjKind("partition"))
                     for a, b in ENV_PORT.links
+                }
+            ),
+            alt_detectable=False,
+        ),
+        KnownBug(
+            bug_id="RAFT-6",
+            description=(
+                "Restart catch-up probe livelock: with restart probes "
+                "configured, a restarted follower verifies a digest window "
+                "against the leader; a lost probe reply makes it distrust "
+                "the digest and grow the window, so the next probe asks "
+                "the leader to scan even more — scan work that pushes the "
+                "probe round trip past its own timeout.  Only a partition "
+                "overlapping a crash-restart (a composed fault schedule) "
+                "creates the triggering reply loss; no single fault covers "
+                "both the restart and the silence."
+            ),
+            signature="1D|1E|0N",
+            core_faults=frozenset(
+                {
+                    FaultKey("ldr.probe.scan", InjKind.DELAY),
+                    FaultKey("flw.probe.rpc", InjKind.EXCEPTION),
+                }
+            ),
+            trigger_faults=frozenset(
+                {
+                    FaultKey(ENV_PORT.node_site_id(n), InjKind("partition_during_restart"))
+                    for n in ENV_PORT.nodes
                 }
             ),
             alt_detectable=False,

@@ -34,6 +34,16 @@ distrusts its replication bookkeeping and re-queues a catch-up window
 trigger: the catch-up work makes the leader late with heartbeats, the
 election-timeout detector trips, and the fresh leader — which treats
 *every* peer as reconnecting — queues even more catch-up work.
+
+RAFT-6 (restart catch-up probe livelock): with restart probes configured,
+a freshly restarted follower asks the leader to verify a digest window of
+its log before trusting it (``flw.probe.rpc`` against the leader's
+``ldr.probe.scan``).  When the probe reply is lost, the follower
+distrusts the digest and *grows* the window, so the next probe asks the
+leader to scan even more — scan work that pushes the probe round trip
+past its own timeout.  Only a partition overlapping a crash-restart (a
+composed fault schedule) makes the reply loss last long enough to
+compound; no single fault covers both the restart and the silence.
 """
 
 from __future__ import annotations
@@ -74,6 +84,14 @@ class RaftConfig:
         self.snapshot_retry = False  # restart failed snapshot transfers
         self.flaky_follower = -1  # index of a follower that wipes its disk
         self.flaky_restart_ms = 0.0  # wipe period (0 = never)
+        self.restart_probe = False  # verify a digest window after restart
+        self.probe_interval_ms = 5_000.0  # probe tick period while backlogged
+        self.probe_window = 8  # digest entries verified per probe
+        self.probe_window_growth = 6  # window growth on a lost probe reply
+        self.probe_max_window = 64  # backlog cap
+        self.probe_cost_ms = 30.0  # per-entry digest cost on the follower
+        self.probe_scan_cost_ms = 120.0  # per-entry scan cost on the leader
+        self.probe_rpc_timeout_ms = 8_000.0
         for key, value in kw.items():
             if not hasattr(self, key):
                 raise TypeError("unknown RaftConfig option %r" % key)
@@ -104,6 +122,7 @@ class RaftNode(Node):
         self.elections_started = 0
         self.append_timeouts = 0
         self.snapshots_sent = 0
+        self.probe_backlog = 0  # digest entries still to verify post-restart
         self._register_ticks()
 
     def _register_ticks(self) -> None:
@@ -114,12 +133,16 @@ class RaftNode(Node):
         env.every(self, cfg.election_tick_ms, self.election_tick, jitter_ms=80.0 * (self.index + 1))
         if cfg.flaky_follower == self.index and cfg.flaky_restart_ms > 0:
             env.every(self, cfg.flaky_restart_ms, self.wipe_disk)
+        if cfg.restart_probe:
+            env.every(self, cfg.probe_interval_ms, self.restart_probe_tick, jitter_ms=60.0)
 
     def on_restart(self) -> None:
         """Crash recovery: come back as a follower with fresh liveness
         bookkeeping (the log itself is durable in this model)."""
         self.role = "follower"
         self.last_leader_contact = self.env.now
+        if self.cfg.restart_probe:
+            self.probe_backlog = self.cfg.probe_window
         self._register_ticks()
 
     # ------------------------------------------------------------- helpers
@@ -343,6 +366,15 @@ class RaftNode(Node):
             self.last_applied = max(self.last_applied, snap_index)
             return (self.term, True)
 
+    def handle_probe(self, term: int, window: int) -> Tuple[int, bool]:
+        """Leader side of the restart catch-up probe: verify ``window``
+        digest entries against the authoritative log."""
+        self.check_alive()
+        with self.rt.function("RaftNode.handle_probe"):
+            for _ in self.rt.loop("ldr.probe.scan", range(window)):
+                self.env.spin(self.cfg.probe_scan_cost_ms)
+            return (self.term, True)
+
     def compact_log_legacy(self) -> int:
         """Pre-snapshot log compaction, superseded by install_snapshot.
 
@@ -402,6 +434,45 @@ class RaftNode(Node):
             else:
                 self.role = "follower"
                 self.last_leader_contact = self.env.now  # back off before retrying
+
+    # -------------------------------------------------------- restart probe
+
+    def restart_probe_tick(self) -> None:
+        """Post-restart digest verification against the current leader.
+
+        A restarted follower does not trust its durable log until the
+        leader has confirmed a digest window of it.  A confirmed probe
+        clears the backlog; a lost reply (or a leaderless cluster) makes
+        the follower distrust the digest and *grow* the window.
+        """
+        if self.probe_backlog <= 0 or self.role == "leader":
+            return
+        with self.rt.function("RaftNode.restart_probe_tick"):
+            window = min(self.probe_backlog, self.cfg.probe_max_window)
+            for _ in self.rt.loop("flw.restart.probe", range(window)):
+                self.env.spin(self.cfg.probe_cost_ms)
+            leader = next((p for p in self.peers if p.role == "leader"), None)
+            if leader is None:
+                self.probe_backlog = min(
+                    self.cfg.probe_max_window,
+                    self.probe_backlog + self.cfg.probe_window_growth,
+                )
+                return
+            try:
+                self.rt.lib_call(
+                    "flw.probe.rpc", IOEx, self.env.rpc, leader, leader.handle_probe,
+                    self.term, window, timeout_ms=self.cfg.probe_rpc_timeout_ms,
+                )
+            except IOEx:
+                # THE BUG (RAFT-6): the reply was lost, not the log — but
+                # the digest is distrusted and the window *grows*, so the
+                # next probe asks the leader to scan even more.
+                self.probe_backlog = min(
+                    self.cfg.probe_max_window,
+                    self.probe_backlog + self.cfg.probe_window_growth,
+                )
+                return
+            self.probe_backlog = 0
 
     # ---------------------------------------------------------- flaky disk
 

@@ -36,6 +36,11 @@ def build_registry() -> SiteRegistry:
     reg.throw("flw.log.full_ioe", "RaftNode.client_append", exception="LogFullException")
     reg.branch("flw.vote.b_grant", "RaftNode.handle_vote")
 
+    # Restart catch-up probes (follower digest loop, probe RPC, leader scan).
+    reg.loop("flw.restart.probe", "RaftNode.restart_probe_tick", does_io=True, body_size=30)
+    reg.lib_call("flw.probe.rpc", "RaftNode.restart_probe_tick", exception="SocketTimeoutException")
+    reg.loop("ldr.probe.scan", "RaftNode.handle_probe", does_io=True, body_size=28)
+
     # Candidates.
     reg.loop("cand.vote.requests", "RaftNode.start_election", does_io=True, body_size=30)
     reg.lib_call("cand.vote.rpc", "RaftNode.start_election", exception="SocketTimeoutException")

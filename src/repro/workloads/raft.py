@@ -94,6 +94,20 @@ def wl_partition(env: SimEnv, rt: Runtime) -> None:
     RaftClient(env, rt, nodes, 0, cmds_per_tick=3, interval_ms=3_000.0)
 
 
+def wl_churn(env: SimEnv, rt: Runtime) -> None:
+    """Membership-churn drill: restart catch-up probes enabled, with a
+    scripted crash/restart of one follower — every profile run exercises
+    the probe path end-to-end (the probe reaches the leader and clears)
+    without any reply loss."""
+    cfg = RaftConfig(restart_probe=True, probe_window=8,
+                     probe_window_growth=6, probe_max_window=64,
+                     probe_interval_ms=5_000.0, probe_rpc_timeout_ms=8_000.0)
+    nodes = build_cluster(env, rt, cfg)
+    env.schedule_at(30_000.0, None, nodes[1].crash)
+    env.schedule_at(50_000.0, None, nodes[1].restart)
+    RaftClient(env, rt, nodes, 0, cmds_per_tick=2, interval_ms=4_000.0)
+
+
 def wl_snapshot(env: SimEnv, rt: Runtime) -> None:
     """Snapshot churn: one follower periodically loses its disk, so the
     leader repeatedly ships snapshots (with transfer retry enabled)."""
@@ -119,6 +133,7 @@ def raft_workloads() -> List[WorkloadSpec]:
         WorkloadSpec("raft.elections", wl_elections.__doc__ or "", wl_elections),
         WorkloadSpec("raft.partition", wl_partition.__doc__ or "", wl_partition),
         WorkloadSpec("raft.quorum", wl_quorum.__doc__ or "", wl_quorum),
+        WorkloadSpec("raft.churn", wl_churn.__doc__ or "", wl_churn),
         WorkloadSpec("raft.snapshot", wl_snapshot.__doc__ or "", wl_snapshot),
         WorkloadSpec("raft.idle", wl_idle.__doc__ or "", wl_idle, duration_ms=60_000.0),
     ]

@@ -6,6 +6,7 @@ from repro.config import CSnakeConfig
 from repro.core.allocation import ThreePhaseAllocator
 from repro.core.driver import ExperimentDriver
 from repro.instrument.analyzer import analyze
+from repro.serialize import fca_to_obj
 from repro.systems.toy import build_system
 
 FAST = dict(repeats=2, delay_values_ms=(2000.0,), seed=11)
@@ -95,3 +96,77 @@ def test_deterministic_given_seed():
     assert [(r.phase, r.fault, r.test_id) for r in a.records] == [
         (r.phase, r.fault, r.test_id) for r in b.records
     ]
+
+
+# --------------------------------------------------------- adaptive budget
+
+
+ADAPTIVE = dict(
+    adaptive_budget=True,
+    schedules=("membership_churn", "partition_during_restart"),
+    fault_kinds=("exception", "delay", "negation", "node_crash"),
+    budget_per_fault=3,
+)
+
+
+def _adaptive_run(backend=None, workers=3):
+    """One adaptive allocation on the toy system, optionally through a
+    deferred-batch executor backend."""
+    from repro.pipeline import make_executor
+
+    spec = build_system()
+    config = CSnakeConfig(**ADAPTIVE, **FAST)
+    driver = ExperimentDriver(spec, config)
+    faults = analyze(
+        spec.registry, fault_kinds=config.fault_kinds, schedules=config.schedules
+    ).faults
+    if backend is None:
+        return ThreePhaseAllocator(driver, faults, config).run()
+    with make_executor(workers, backend) as executor:
+        return ThreePhaseAllocator(driver, faults, config, executor=executor).run()
+
+
+def _view(outcome):
+    return [
+        (r.phase, r.fault, r.test_id, fca_to_obj(r.result)) for r in outcome.records
+    ]
+
+
+def test_adaptive_split_carves_a_quarter():
+    spec = build_system()
+    on = ThreePhaseAllocator(
+        ExperimentDriver(spec, CSnakeConfig(adaptive_budget=True, **FAST)),
+        [],
+        CSnakeConfig(adaptive_budget=True, **FAST),
+    )
+    assert on._adaptive_split(20) == (15, 5)
+    assert on._adaptive_split(1) == (1, 0)  # too small to split
+    off = ThreePhaseAllocator(
+        ExperimentDriver(spec, CSnakeConfig(**FAST)), [], CSnakeConfig(**FAST)
+    )
+    assert off._adaptive_split(20) == (20, 0)
+
+
+def test_adaptive_allocation_spends_on_promising_faults():
+    outcome = _adaptive_run()
+    # The ranking only contains faults with committed finite p-values, in
+    # ascending promise order, and every record carries a result.
+    assert outcome.budget_used <= outcome.budget_total
+    for record in outcome.records:
+        assert record.result is not None
+    pairs = [(r.fault, r.test_id) for r in outcome.records]
+    assert len(pairs) == len(set(pairs))  # adaptive repeats use *new* tests
+
+
+def test_adaptive_allocation_identical_across_backends():
+    """The determinism-under-adaptivity rule: reallocation decisions read
+    only committed results in schedule order, so eager (serial), thread,
+    and process campaigns pick identical reallocations."""
+    serial = _adaptive_run()
+    thread = _adaptive_run("thread")
+    assert _view(serial) == _view(thread)
+    try:
+        process = _adaptive_run("process", workers=2)
+    except (ImportError, OSError, PermissionError) as exc:
+        pytest.skip("process backend unavailable: %s" % exc)
+    assert _view(serial) == _view(process)

@@ -16,6 +16,7 @@ from repro.faults import (
     model_for,
     models_for_site_kind,
     registered_kinds,
+    registered_schedules,
 )
 from repro.instrument.plan import InjectionPlan, make_params
 from repro.instrument.sites import SiteRegistry
@@ -77,7 +78,9 @@ def test_injkind_interning_identity_and_lookup():
 
 
 def test_injkind_iteration_covers_registered_kinds():
-    assert [k.value for k in InjKind] == registered_kinds()
+    # Schedule names are interned InjKinds too (composed fault keys carry
+    # them), but live in the schedule registry, not the model registry.
+    assert [k.value for k in InjKind] == registered_kinds() + registered_schedules()
 
 
 def test_injkind_survives_pickle_and_deepcopy():

@@ -20,11 +20,11 @@ def spec():
 
 
 def test_registry_and_ground_truth(spec):
-    assert len(spec.registry) == 33  # 27 code sites + 3 node + 3 link env sites
+    assert len(spec.registry) == 36  # 30 code sites + 3 node + 3 link env sites
     assert len(spec.registry.env_sites()) == 6
-    assert len(spec.workloads) == 8
+    assert len(spec.workloads) == 9
     assert [b.bug_id for b in spec.known_bugs] == [
-        "RAFT-1", "RAFT-2", "RAFT-3", "RAFT-4", "RAFT-5",
+        "RAFT-1", "RAFT-2", "RAFT-3", "RAFT-4", "RAFT-5", "RAFT-6",
     ]
     for bug in spec.known_bugs:
         for fault in bug.core_faults | bug.trigger_faults:
@@ -32,6 +32,11 @@ def test_registry_and_ground_truth(spec):
     raft5 = spec.bug("RAFT-5")
     assert raft5.trigger_faults, "RAFT-5 is gated on environment trigger faults"
     assert all(f.kind is InjKind("partition") for f in raft5.trigger_faults)
+    raft6 = spec.bug("RAFT-6")
+    assert raft6.trigger_faults, "RAFT-6 is gated on a composed fault schedule"
+    assert all(
+        f.kind is InjKind("partition_during_restart") for f in raft6.trigger_faults
+    )
 
 
 def test_fault_space_excludes_filtered_sites(spec):
@@ -54,7 +59,12 @@ def test_profiles_deterministic_and_fault_free(spec):
     # leader's AppendEntries to the severed follower — intentional
     # environment churn; FCA's counterfactual exclusion is per-test, and
     # RAFT-1 detection relies on raft.resend, whose profile stays clean.
-    allowed = {"raft.partition": {FaultKey("ldr.append.rpc", InjKind.EXCEPTION)}}
+    # raft.churn's scripted crash drill does the same: appends to the
+    # crashed follower time out until the restart lands.
+    allowed = {
+        "raft.partition": {FaultKey("ldr.append.rpc", InjKind.EXCEPTION)},
+        "raft.churn": {FaultKey("ldr.append.rpc", InjKind.EXCEPTION)},
+    }
     for test_id in spec.workload_ids():
         wl = spec.workloads[test_id]
         a = run_workload(spec, wl, None, _seed_for(test_id, 0, 99))
