@@ -1,6 +1,13 @@
-"""Repo-root conftest: makes the ``tests`` package importable everywhere."""
+"""Repo-root conftest: makes ``tests`` and ``repro`` importable everywhere.
+
+Adding ``src`` here (not only via ``PYTHONPATH=src``) lets a bare
+``python -m pytest`` work out of the box; when the env var is also set,
+the duplicate path entry is harmless.
+"""
 
 import sys
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).resolve().parent))
+_ROOT = Path(__file__).resolve().parent
+sys.path.insert(0, str(_ROOT))
+sys.path.insert(1, str(_ROOT / "src"))

@@ -16,7 +16,7 @@ import json
 import os
 import platform
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..config import CSnakeConfig
 from ..core.driver import _seed_for
@@ -199,6 +199,7 @@ def bench_campaign(
     sweep_overrides: Optional[Sequence] = None,
     schedules: Optional[Sequence[str]] = None,
     adaptive_budget: bool = True,
+    profile: bool = False,
 ) -> Dict[str, Any]:
     """Benchmark one system's campaign across executor backends.
 
@@ -209,6 +210,11 @@ def bench_campaign(
     ``cache_dir`` the backends share one experiment cache: serial runs
     cold, every later backend runs warm, and the parity check then also
     asserts cache-warm ≡ cache-cold.
+
+    ``profile`` appends one *extra* serial campaign with every stage under
+    cProfile (top-N cumulative functions + collapsed flamegraph stacks per
+    phase, :mod:`repro.bench.profiling`).  The timed entries above are
+    never the instrumented ones, so the regression gate stays honest.
     """
     if smoke:
         system = system or "toy"
@@ -275,6 +281,16 @@ def bench_campaign(
         out["agent_overhead"] = measure_agent_overhead(
             OVERHEAD_SYSTEMS if not smoke else OVERHEAD_SYSTEMS[:1]
         )
+    if profile:
+        import dataclasses
+
+        from .profiling import profile_campaign
+
+        # Profile the real computation: with a cache_dir the serial timed
+        # run above already warmed the store and allocate would replay.
+        out["profile"] = profile_campaign(
+            system, dataclasses.replace(config, cache_dir=None)
+        )
     return out
 
 
@@ -284,15 +300,27 @@ def write_bench_json(result: Dict[str, Any], path: str) -> None:
         fh.write("\n")
 
 
+#: Serial phases gated individually by :func:`check_regression` — the two
+#: (former) hot phases this repo's perf work targets.  Gating them
+#: separately keeps a regression in one from hiding inside the total.
+GATED_PHASES: Tuple[str, ...] = ("allocate", "search")
+
+#: Phase times are gated against ``max(baseline * factor, floor)``: smoke
+#: phases run in fractions of a millisecond, where a pure-ratio gate would
+#: flake on timer noise.
+PHASE_GATE_FLOOR_S = 0.25
+
+
 def check_regression(
     result: Dict[str, Any], baseline_path: str, max_factor: float = 2.0
 ) -> List[str]:
     """Compare a bench result against a checked-in baseline.
 
     Returns a list of human-readable failures (empty = pass).  Only the
-    serial backend's wall time is gated — thread/process times depend on
-    the runner's core count — plus the cross-backend parity bits, which
-    must hold on any machine.
+    serial backend's wall time is gated — total and per-phase for the
+    :data:`GATED_PHASES` — since thread/process times depend on the
+    runner's core count; plus the cross-backend parity bits, which must
+    hold on any machine.
     """
     with open(baseline_path, "r", encoding="utf-8") as fh:
         baseline = json.load(fh)
@@ -304,6 +332,19 @@ def check_regression(
             "serial campaign regressed: %.3fs vs baseline %.3fs (> %.1fx)"
             % (cur_wall, base_wall, max_factor)
         )
+    base_phases = baseline["backends"]["serial"].get("phases", {})
+    cur_phases = result["backends"]["serial"].get("phases", {})
+    for phase in GATED_PHASES:
+        base_s = base_phases.get(phase)
+        cur_s = cur_phases.get(phase)
+        if base_s is None or cur_s is None:
+            continue
+        limit = max(base_s * max_factor, PHASE_GATE_FLOOR_S)
+        if cur_s > limit:
+            failures.append(
+                "serial %s phase regressed: %.3fs vs baseline %.3fs (limit %.3fs)"
+                % (phase, cur_s, base_s, limit)
+            )
     for backend, entry in result["backends"].items():
         if not entry.get("identical_to_serial", True):
             failures.append("backend %r diverged from the serial reference" % backend)

@@ -619,6 +619,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         sweep_overrides=_parse_sweeps(args.sweep) if args.sweep else None,
         schedules=_parse_schedules(args.schedules) if args.schedules else None,
         adaptive_budget=args.adaptive_budget,
+        profile=args.profile,
     )
     write_bench_json(result, args.out)
     for backend in backends:
@@ -670,6 +671,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     entry["wall_s"],
                     "identical" if entry["identical_to_serial"] else "DIVERGED",
                 )
+            )
+    for phase, entry in sorted(result.get("profile", {}).items()):
+        print("profile %-9s %7.3fs (instrumented)" % (phase, entry["wall_s"]))
+        for row in entry["top"][:3]:
+            print(
+                "  %8.3fs cum  %8.3fs own  %7d calls  %s"
+                % (row["cumtime_s"], row["tottime_s"], row["ncalls"], row["function"])
             )
     print("wrote %s" % args.out)
     diverged = any(not result["backends"][b]["identical_to_serial"] for b in backends)
@@ -905,6 +913,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-overhead", action="store_true",
         help="skip the instrumentation-overhead measurement",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="add one serial campaign with per-phase cProfile output "
+        "(top-N functions + collapsed flamegraph stacks in the JSON)",
     )
     _add_fault_flags(bench)
     _add_cache_flags(bench, bare=False)

@@ -143,6 +143,7 @@ class ExperimentDriver:
     def __post_init__(self) -> None:
         self._profiles: Dict[str, RunGroup] = {}
         self._profile_lock = threading.Lock()
+        self._plans: Dict[FaultKey, List[InjectionPlan]] = {}
         self.fca = FaultCausalityAnalysis(self.spec.registry, self.config)
         self.edges = EdgeDB()
         self.results: List[FcaResult] = []
@@ -278,8 +279,21 @@ class ExperimentDriver:
         resolve plan content against the system topology (fault
         schedules) see the site registry; single-fault models fall back
         to their plain ``plans_for``.
+
+        Memoized per fault: each experiment derives the same sweep three
+        times (cache key, task descriptor, execution), and plans are pure
+        functions of (fault, config, registry) — all fixed for the
+        driver's lifetime.  Threaded campaigns may race the memo
+        benignly: plan derivation is deterministic, so losers overwrite
+        winners with identical content.
         """
-        return model_for(fault.kind).plans_for_spec(fault, self.config, self.spec.registry)
+        plans = self._plans.get(fault)
+        if plans is None:
+            plans = model_for(fault.kind).plans_for_spec(
+                fault, self.config, self.spec.registry
+            )
+            self._plans[fault] = plans
+        return plans
 
     def execute_experiment(self, fault: FaultKey, test_id: str) -> Tuple[FcaResult, int]:
         """Pure execution of one experiment: returns (FCA result, runs used).

@@ -305,6 +305,23 @@ class RunGroup:
     injection: Optional[InjectionPlan]
     runs: List[RunTrace] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        """Drop the derived-statistic caches (every ``add`` calls this).
+
+        A profile group is queried once per *experiment* — every FCA against
+        test t re-derives t's control matrices and occurrence maps — so the
+        answers are memoized per group and rebuilt only when the group gains
+        a run.  Queries hand out copies, never the cached containers.
+        Threaded campaigns may fill a slot concurrently: benign, the values
+        are deterministic and the assignments atomic under the GIL.
+        """
+        self._loop_rows: Dict[str, Tuple[int, ...]] = {}
+        self._natural_hits: Optional[Dict[FaultKey, int]] = None
+        self._reached: Optional[Set[str]] = None
+
     def __len__(self) -> int:
         return len(self.runs)
 
@@ -312,14 +329,23 @@ class RunGroup:
         if run.test_id != self.test_id:
             raise ValueError("run belongs to test %s, not %s" % (run.test_id, self.test_id))
         self.runs.append(run)
+        self._invalidate()
+
+    def _loop_row(self, site_id: str) -> Tuple[int, ...]:
+        row = self._loop_rows.get(site_id)
+        if row is None:
+            row = self._loop_rows[site_id] = tuple(
+                run.loop_count(site_id) for run in self.runs
+            )
+        return row
 
     def loop_samples(self, site_id: str) -> List[int]:
         """Iteration counts of ``site_id`` across the repeated runs."""
-        return [run.loop_count(site_id) for run in self.runs]
+        return list(self._loop_row(site_id))
 
     def loop_count_rows(self, site_ids: List[str]) -> List[List[int]]:
         """Iteration-count matrix: one row per site, one column per run."""
-        return [[run.loop_count(site_id) for run in self.runs] for site_id in site_ids]
+        return [list(self._loop_row(site_id)) for site_id in site_ids]
 
     def loop_sites(self) -> Set[str]:
         """Sites with at least one iteration in any run of the group."""
@@ -328,18 +354,25 @@ class RunGroup:
             out |= run.loop_sites()
         return out
 
+    def _natural_hit_counts(self) -> Dict[FaultKey, int]:
+        """Per-fault count of runs in which it occurred naturally."""
+        hits = self._natural_hits
+        if hits is None:
+            hits = {}
+            for run in self.runs:
+                for fault in run.natural_faults():
+                    hits[fault] = hits.get(fault, 0) + 1
+            self._natural_hits = hits
+        return hits
+
     def fault_occurrence_frac(self, fault: FaultKey) -> float:
         """Fraction of runs in which ``fault`` occurred naturally."""
         if not self.runs:
             return 0.0
-        hits = sum(1 for run in self.runs if fault in run.natural_faults())
-        return hits / len(self.runs)
+        return self._natural_hit_counts().get(fault, 0) / len(self.runs)
 
     def natural_faults(self) -> Set[FaultKey]:
-        out: Set[FaultKey] = set()
-        for run in self.runs:
-            out |= run.natural_faults()
-        return out
+        return set(self._natural_hit_counts())
 
     def states_of(self, fault: FaultKey) -> StateSet:
         states: Set[LocalState] = set()
@@ -360,10 +393,13 @@ class RunGroup:
         return frozenset(states)
 
     def reached(self) -> Set[str]:
-        out: Set[str] = set()
-        for run in self.runs:
-            out |= run.reached
-        return out
+        out = self._reached
+        if out is None:
+            out = set()
+            for run in self.runs:
+                out |= run.reached
+            self._reached = out
+        return set(out)
 
     def coverage(self) -> int:
         """Coverage score of the test: number of distinct sites reached."""

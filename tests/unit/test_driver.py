@@ -108,3 +108,17 @@ def test_unknown_fault_site_rejected(driver):
 def test_edges_accumulate_in_db(driver):
     driver.run_experiment(FaultKey("toy.server.is_stale", InjKind.NEGATION), "toy.balancer")
     assert len(driver.edges) >= 1
+
+
+def test_plans_for_is_memoized(driver):
+    fault = FaultKey("toy.server.process_batch", InjKind.DELAY)
+    first = driver._plans_for(fault)
+    assert driver._plans_for(fault) is first  # same list: derived once
+    # and the memo is per fault, not global
+    other = driver._plans_for(FaultKey("toy.server.is_stale", InjKind.NEGATION))
+    assert other is not first
+    # memoized plans are what experiments execute: the sweep still runs
+    driver.profile("toy.big_batches")
+    runs_before = driver.runs_executed
+    driver.run_experiment(fault, "toy.big_batches")
+    assert driver.runs_executed - runs_before == len(first) * driver.config.repeats
