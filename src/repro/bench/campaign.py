@@ -188,6 +188,47 @@ def _schedule_campaign_section(
     }
 
 
+def _dfs_campaign_section(
+    backends: Sequence[str], workers: int, cache_dir: Optional[str]
+) -> Dict[str, Any]:
+    """The environment-gated benchmark: a reduced minidfs campaign with
+    every fault kind and every composed schedule enabled, per backend.
+    minidfs is the target whose ground truth is *entirely* environment-
+    gated, so this section tracks the cost of the full fault model on a
+    topology with both node and link sites — and its parity bits assert
+    serial ≡ thread ≡ process, cache-cold ≡ cache-warm, for it.
+    """
+    from ..faults import expand_kinds, registered_schedules
+
+    config = CSnakeConfig(
+        repeats=2,
+        delay_values_ms=(500.0, 8000.0),
+        seed=7,
+        budget_per_fault=2,
+        fault_kinds=expand_kinds("all"),
+        schedules=tuple(registered_schedules()),
+        adaptive_budget=True,
+    )
+    if cache_dir is not None:
+        import dataclasses
+
+        config = dataclasses.replace(config, cache_dir=os.path.join(cache_dir, "dfs"))
+    system = "minidfs"
+    ordered = ["serial"] + [b for b in backends if b != "serial"]
+    results: Dict[str, Any] = {}
+    for backend in ordered:
+        results[backend] = _campaign_once(system, config, backend, workers)
+    reference = results["serial"]
+    for entry in results.values():
+        entry["speedup_vs_serial"] = round(reference["wall_s"] / entry["wall_s"], 3)
+        entry["identical_to_serial"] = entry["digest"] == reference["digest"]
+    return {
+        "system": system,
+        "config": config.to_dict(),
+        "backends": results,
+    }
+
+
 def bench_campaign(
     system: Optional[str] = None,
     workers: Optional[int] = None,
@@ -276,6 +317,7 @@ def bench_campaign(
         "schedule_campaign": _schedule_campaign_section(
             backends, workers, cache_dir, schedules, adaptive_budget
         ),
+        "dfs_campaign": _dfs_campaign_section(backends, workers, cache_dir),
     }
     if overhead:
         out["agent_overhead"] = measure_agent_overhead(
@@ -348,11 +390,15 @@ def check_regression(
     for backend, entry in result["backends"].items():
         if not entry.get("identical_to_serial", True):
             failures.append("backend %r diverged from the serial reference" % backend)
-    schedule = result.get("schedule_campaign") or {}
-    for backend, entry in schedule.get("backends", {}).items():
-        if not entry.get("identical_to_serial", True):
-            failures.append(
-                "schedule campaign backend %r diverged from the serial reference"
-                % backend
-            )
+    for section, label in (
+        ("schedule_campaign", "schedule campaign"),
+        ("dfs_campaign", "dfs campaign"),
+    ):
+        extra = result.get(section) or {}
+        for backend, entry in extra.get("backends", {}).items():
+            if not entry.get("identical_to_serial", True):
+                failures.append(
+                    "%s backend %r diverged from the serial reference"
+                    % (label, backend)
+                )
     return failures

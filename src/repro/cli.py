@@ -672,6 +672,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     "identical" if entry["identical_to_serial"] else "DIVERGED",
                 )
             )
+    dfs = result.get("dfs_campaign")
+    if dfs:
+        for backend in backends:
+            entry = dfs["backends"].get(backend)
+            if entry is None:
+                continue
+            cache = entry.get("cache")
+            print(
+                "dfs      %-8s %7.3fs  %s%s"
+                % (
+                    backend,
+                    entry["wall_s"],
+                    "identical" if entry["identical_to_serial"] else "DIVERGED",
+                    "  cache %d/%d hit" % (cache["hits"], cache["hits"] + cache["misses"])
+                    if cache
+                    else "",
+                )
+            )
     for phase, entry in sorted(result.get("profile", {}).items()):
         print("profile %-9s %7.3fs (instrumented)" % (phase, entry["wall_s"]))
         for row in entry["top"][:3]:
@@ -684,6 +702,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if schedule:
         diverged = diverged or any(
             not e["identical_to_serial"] for e in schedule["backends"].values()
+        )
+    if dfs:
+        diverged = diverged or any(
+            not e["identical_to_serial"] for e in dfs["backends"].values()
         )
     if diverged:
         print("error: parallel backend diverged from serial", file=sys.stderr)

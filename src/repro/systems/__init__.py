@@ -2,9 +2,9 @@
 
 Five simulated distributed systems mirror the paper's evaluation targets
 (HDFS 2.10.2, HDFS 3.4.1, HBase 2.6.0, Flink 1.20.0, Ozone 1.4.0), plus a
-Raft-style consensus target (``miniraft``) extending the evaluation beyond
-the paper and a small ``toy`` system used by the quickstart and the test
-suite::
+Raft-style consensus target (``miniraft``) and a replicated-DFS churn
+target (``minidfs``) extending the evaluation beyond the paper, and a
+small ``toy`` system used by the quickstart and the test suite::
 
     from repro.systems import get_system
     spec = get_system("minihdfs2")
@@ -42,6 +42,7 @@ def evaluation_systems() -> List[str]:
 
 
 def _build_registry_table() -> None:
+    from .minidfs import build_system as _dfs
     from .minihbase import build_system as _hbase
     from .minihdfs import build_system as _hdfs
     from .miniflink import build_system as _flink
@@ -56,6 +57,7 @@ def _build_registry_table() -> None:
     _register("miniflink", _flink)
     _register("miniozone", _ozone)
     _register("miniraft", _raft)
+    _register("minidfs", _dfs)
 
 
 _build_registry_table()

@@ -1,0 +1,14 @@
+"""MiniDFS: a replicated-DFS target with churn-triggered recovery loops."""
+
+from .build import ENV_PORT, build_system
+from .nodes import DfsClient, DfsConfig, DfsNode
+from .sites import build_registry
+
+__all__ = [
+    "ENV_PORT",
+    "DfsClient",
+    "DfsConfig",
+    "DfsNode",
+    "build_registry",
+    "build_system",
+]

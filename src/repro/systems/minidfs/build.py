@@ -1,0 +1,115 @@
+"""Assemble the MiniDFS system spec."""
+
+from __future__ import annotations
+
+from ...faults import EnvFaultPort
+from ...types import FaultKey, InjKind
+from ...workloads.dfs import dfs_workloads
+from ..base import KnownBug, SystemSpec
+from .sites import build_registry
+
+#: The namenode, the three datanodes, and every severable pair — the
+#: namenode↔datanode heartbeat/report links plus the datanode↔datanode
+#: pipeline links (crash / partition / msg_drop / schedule targets).
+ENV_PORT = EnvFaultPort(
+    nodes=("nn0", "dn0", "dn1", "dn2"),
+    links=(
+        ("nn0", "dn0"), ("nn0", "dn1"), ("nn0", "dn2"),
+        ("dn0", "dn1"), ("dn0", "dn2"), ("dn1", "dn2"),
+    ),
+)
+
+
+def build_system() -> SystemSpec:
+    spec = SystemSpec(
+        name="minidfs", version="1", registry=build_registry(), env_port=ENV_PORT,
+        source_modules=("repro.systems.minidfs.nodes", "repro.workloads.dfs"),
+    )
+    for workload in dfs_workloads():
+        spec.add_workload(workload)
+    spec.known_bugs = [
+        KnownBug(
+            bug_id="DFS-1",
+            description=(
+                "Heartbeat re-registration storm: slow block-report "
+                "processing on the master times out datanode heartbeat "
+                "RPCs; with re-register-on-failure configured each lost "
+                "ack is answered by a full re-registration whose block "
+                "report is precisely the processing work that made the "
+                "master slow.  Only a node crash (and the recovery "
+                "re-registrations it forces) exposes the triggering "
+                "disturbance."
+            ),
+            signature="1D|1E|0N",
+            core_faults=frozenset(
+                {
+                    FaultKey("nn.report.blocks", InjKind.DELAY),
+                    FaultKey("dn.hb.rpc", InjKind.EXCEPTION),
+                }
+            ),
+            trigger_faults=frozenset(
+                {
+                    FaultKey(ENV_PORT.node_site_id(n), InjKind("node_crash"))
+                    for n in ENV_PORT.nodes
+                }
+            ),
+            alt_detectable=False,
+        ),
+        KnownBug(
+            bug_id="DFS-2",
+            description=(
+                "Failover flap: a standby whose master-liveness detector "
+                "trips promotes itself by priority and rebuilds the "
+                "namespace from full block reports; the rebuild keeps the "
+                "new master too busy to answer heartbeats, so the next "
+                "standby's detector trips — another election, another "
+                "rebuild.  Only a partition (master-side silence long "
+                "enough to trip the detector naturally) exposes the "
+                "triggering disturbance."
+            ),
+            signature="1D|0E|1N",
+            core_faults=frozenset(
+                {
+                    FaultKey("fo.rebuild.entries", InjKind.DELAY),
+                    FaultKey("dn.master.is_down", InjKind.NEGATION),
+                }
+            ),
+            trigger_faults=frozenset(
+                {
+                    FaultKey(ENV_PORT.link_site_id(a, b), InjKind("partition"))
+                    for a, b in ENV_PORT.links
+                }
+            ),
+            alt_detectable=False,
+        ),
+        KnownBug(
+            bug_id="DFS-3",
+            description=(
+                "Re-replication churn: a failed re-replication transfer "
+                "makes the master distrust its placement bookkeeping and "
+                "grow the pending set (rescan-on-failure), so the next "
+                "scan issues even more transfers — transfers that keep "
+                "the surviving datanodes too busy to answer in time.  A "
+                "transfer only fails naturally when the master's "
+                "heartbeat-based liveness view is stale enough to pick a "
+                "dead source while new deaths keep arriving: only a "
+                "rolling crash/restart wave (the membership_churn "
+                "schedule) produces that, never a single crash."
+            ),
+            signature="1D|1E|0N",
+            core_faults=frozenset(
+                {
+                    FaultKey("dn.pipe.recv", InjKind.DELAY),
+                    FaultKey("nn.rerepl.rpc", InjKind.EXCEPTION),
+                }
+            ),
+            trigger_faults=frozenset(
+                {
+                    FaultKey(ENV_PORT.node_site_id(n), InjKind("membership_churn"))
+                    for n in ENV_PORT.nodes
+                }
+            ),
+            alt_detectable=False,
+        ),
+    ]
+    return spec

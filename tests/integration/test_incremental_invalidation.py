@@ -100,3 +100,55 @@ def test_edit_script_is_behaviour_neutral_and_anchored(tmp_path):
         "repro.systems.miniraft.nodes:RaftNode.install_snapshot",
     )
     assert sdiff.added_functions == () and sdiff.removed_functions == ()
+
+
+def test_minihdfs_datanode_edit_invalidates_only_changed_slices(tmp_path):
+    """The same CACHE_SCHEMA 3 contract on a paper-evaluation system: a
+    one-statement edit to the shared datanode write-pipeline handler
+    (``DataNode.receive_block``) re-runs only experiments whose slice
+    reaches the edit; namenode- and client-only paths stay warm."""
+    from examples.diffrun.edit_minihdfs import make_edited_tree as edit_hdfs
+
+    cache_dir = tmp_path / "cache"
+    cold_spec = get_system("minihdfs2")
+    cold = Pipeline.default(
+        cold_spec, CSnakeConfig(cache_dir=str(cache_dir), **CFG)
+    ).run()
+    assert cold.driver.cache.hits == 0 and cold.driver.cache.stores > 0
+    cold_files = _cache_files(cache_dir)
+
+    edited_root = edit_hdfs(tmp_path / "edited", REPO_ROOT)
+    warm_spec = get_system("minihdfs2")
+    edited = analyze_system(
+        warm_spec, TreeSource(edited_root).sources(warm_spec.source_modules)
+    )
+    sdiff = diff_slices(cold_spec.slice_analysis(), edited)
+    assert sdiff.changed_functions == (
+        "repro.systems.minihdfs.datanode:DataNode.receive_block",
+    )
+    assert sdiff.changed_sites and sdiff.unchanged_sites
+
+    warm_spec.attach_slice_analysis(edited)
+    warm = Pipeline.default(
+        warm_spec, CSnakeConfig(cache_dir=str(cache_dir), **CFG)
+    ).run()
+    assert warm.driver.cache.hits > 0, "nothing reused across the edit"
+    assert warm.driver.cache.misses > 0, "the edit invalidated nothing"
+
+    changed_sites = set(sdiff.changed_sites)
+    changed_entries = set(sdiff.changed_entries)
+    for path in sorted(_cache_files(cache_dir) - cold_files):
+        entry = json.loads(Path(path).read_text())
+        if entry["kind"] == "experiment":
+            site = entry["key"]["fault"].rsplit(":", 1)[0]
+            assert site in changed_sites, (
+                "unchanged-slice experiment re-ran: %s" % site
+            )
+        else:
+            assert entry["kind"] == "profile"
+            assert entry["key"]["test_id"] in changed_entries, (
+                "unchanged-entry profile re-ran: %s" % entry["key"]["test_id"]
+            )
+
+    # Behaviour-neutral edit: the detection reports agree exactly.
+    assert cold.get("report").to_dict() == warm.get("report").to_dict()

@@ -1,0 +1,135 @@
+"""Property-based invariants of the MiniDFS target.
+
+Three safety properties the seeded bugs must *not* break in the
+fault-free (environment-churn-only) regime:
+
+1. the replication factor of every preloaded block is restored after a
+   single datanode crash — by re-replication if the node stays dead, by
+   replica durability if it restarts;
+2. the master's placement bookkeeping never invents a replica: every
+   holder it records actually stores the block (replicas are a set and
+   never shrink, so a recorded placement stays true forever);
+3. master-side liveness is monotone under message drop: once a
+   datanode's heartbeat link is severed, the datanode leaves the live
+   view within the timeout and never re-enters while the link stays cut.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instrument.runtime import Runtime
+from repro.instrument.trace import RunTrace
+from repro.sim import SimEnv
+from repro.systems import get_system
+from repro.systems.minidfs.nodes import DfsClient, DfsConfig
+from repro.workloads.dfs import build_cluster
+
+
+def make_cluster(cfg, seed):
+    spec = get_system("minidfs")
+    rt = Runtime(spec.registry, trace=RunTrace(test_id="dfs.prop"))
+    env = SimEnv(seed=seed)
+    env.runtime = rt
+    rt.bind_env(env)
+    return env, build_cluster(env, rt, cfg)
+
+
+@given(
+    dn_idx=st.integers(0, 2),
+    crash_at=st.floats(5_000.0, 60_000.0),
+    restart=st.booleans(),
+    dead_ms=st.floats(1_000.0, 90_000.0),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_replication_factor_restored_after_single_crash(
+    dn_idx, crash_at, restart, dead_ms, seed
+):
+    """Whatever the crash/restart timing, every preloaded block ends with
+    at least ``replication_factor`` replicas on non-crashed datanodes:
+    re-replication covers a permanent death, durability covers a restart,
+    and a death shorter than the liveness timeout never loses anything."""
+    cfg = DfsConfig(rerepl_enabled=True, auto_failover=False)
+    env, nodes = make_cluster(cfg, seed)
+    victim = nodes[1 + dn_idx]
+    env.schedule_at(crash_at, None, victim.crash)
+    if restart:
+        env.schedule_at(crash_at + dead_ms, None, victim.restart)
+    env.run(crash_at + dead_ms + 150_000.0)
+    dns = [n for n in nodes[1:] if not n.crashed]
+    for block in range(cfg.preload_blocks):
+        holders = [d.name for d in dns if block in d.replicas]
+        assert len(holders) >= cfg.replication_factor, (block, holders)
+
+
+@given(
+    dn_idx=st.integers(0, 2),
+    crash_at=st.floats(10_000.0, 50_000.0),
+    dead_ms=st.floats(1_000.0, 60_000.0),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_master_never_records_a_phantom_replica(dn_idx, crash_at, dead_ms, seed):
+    """Every holder in the master's block map actually stores the block —
+    through pipeline writes, incremental reports, re-replication
+    transfers, and a crash/restart's re-registration alike.  And a block
+    is never placed twice on one node (replica sets, not lists)."""
+    cfg = DfsConfig(rerepl_enabled=True, auto_failover=False)
+    env, nodes = make_cluster(cfg, seed)
+    rt = env.runtime
+    client = DfsClient(env, rt, nodes, 0, writes_per_tick=2, reads_per_tick=1,
+                       interval_ms=4_000.0)
+    victim = nodes[1 + dn_idx]
+    env.schedule_at(crash_at, None, victim.crash)
+    env.schedule_at(crash_at + dead_ms, None, victim.restart)
+    env.run(180_000.0)
+    nn0 = nodes[0]
+    by_name = {n.name: n for n in nodes}
+    for block, holders in nn0.block_map.items():
+        assert len(holders) <= cfg.n_datanodes
+        for name in holders:
+            assert block in by_name[name].replicas, (block, name)
+    # An acknowledged client write implies a stored primary replica.
+    for block in client.written:
+        assert any(block in d.replicas for d in nodes[1:]), block
+
+
+@given(
+    dn_idx=st.integers(0, 2),
+    cut_at=st.floats(10_000.0, 60_000.0),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=15, deadline=None)
+def test_liveness_monotone_under_message_drop(dn_idx, cut_at, seed):
+    """Sever one datanode's link to the master: the datanode drops out of
+    the master's live view within the heartbeat timeout and never
+    re-enters while the link stays cut — and the drop never bleeds into
+    the other datanodes' liveness."""
+    cfg = DfsConfig(auto_failover=False)
+    env, nodes = make_cluster(cfg, seed)
+    nn0, victim = nodes[0], nodes[1 + dn_idx]
+    others = [n.name for n in nodes[1:] if n is not victim]
+    env.schedule_at(cut_at, None, env.partition_names, victim.name, nn0.name)
+    horizon = cut_at + cfg.dn_timeout_ms + 60_000.0
+    probes = []
+
+    def probe():
+        live = set(nn0.live_view())
+        probes.append((env.now, victim.name in live, all(o in live for o in others)))
+
+    t = 0.0
+    while t < horizon:
+        env.schedule_at(t, None, probe)
+        t += 2_500.0
+    env.run(horizon)
+    dead_by = cut_at + cfg.dn_timeout_ms + 4_000.0
+    seen_dead = False
+    for at, victim_live, others_live in probes:
+        assert others_live, at  # the cut never affects the other links
+        if at < cut_at:
+            assert victim_live, at  # heartbeats keep it live before the cut
+        if at >= dead_by:
+            assert not victim_live, at
+        if seen_dead:
+            assert not victim_live, at  # monotone: no re-entry while cut
+        seen_dead = seen_dead or (at >= cut_at and not victim_live)

@@ -15,14 +15,16 @@ def specs():
     return {name: get_system(name) for name in ALL_SYSTEMS}
 
 
-def test_registry_lists_seven_systems():
+def test_registry_lists_eight_systems():
     assert set(ALL_SYSTEMS) == {
         "toy", "minihdfs2", "minihdfs3", "minihbase", "miniflink", "miniozone",
-        "miniraft",
+        "miniraft", "minidfs",
     }
-    # The paper-evaluation set stays the five paper targets: miniraft is an
-    # extension target and the toy system a test fixture.
-    assert set(evaluation_systems()) == set(ALL_SYSTEMS) - {"toy", "miniraft"}
+    # The paper-evaluation set stays the five paper targets: miniraft and
+    # minidfs are extension targets and the toy system a test fixture.
+    assert set(evaluation_systems()) == set(ALL_SYSTEMS) - {
+        "toy", "miniraft", "minidfs",
+    }
 
 
 def test_unknown_system_raises():

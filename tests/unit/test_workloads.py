@@ -14,6 +14,7 @@ from repro.instrument.trace import RunTrace
 from repro.sim import SimEnv
 from repro.systems import get_system
 from repro.systems.base import WorkloadSpec
+from repro.workloads.dfs import dfs_workloads
 from repro.workloads.flink import flink_workloads
 from repro.workloads.hbase import hbase_workloads
 from repro.workloads.hdfs import hdfs_workloads
@@ -27,6 +28,7 @@ SUITES = {
     "flink": (flink_workloads, "flink", "miniflink"),
     "ozone": (ozone_workloads, "ozone", "miniozone"),
     "raft": (raft_workloads, "raft", "miniraft"),
+    "dfs": (dfs_workloads, "dfs", "minidfs"),
 }
 
 
