@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""CI smoke for campaign-as-a-service (docs/service.md).
+
+Starts a real manager (``repro serve``) and two agents (``repro agent``)
+as subprocesses, then drives the miniraft environment-fault campaign
+through ``--backend remote`` and asserts the service contract end to end:
+
+1. a cold remote campaign produces the serial campaign digest;
+2. a warm rerun produces it again, and the agents report a nonzero
+   cache hit rate back through the manager;
+3. a rerun with an extra agent that dies mid-run holding leased tasks
+   (``--fail-after``) still completes with the identical digest — lease
+   expiry and re-queue absorb the death.
+
+    PYTHONPATH=src python examples/service_smoke.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.config import CSnakeConfig
+from repro.errors import ReproError
+from repro.faults import expand_kinds
+from repro.pipeline import Pipeline
+from repro.service.http import HttpTransport
+from repro.service.manager import campaign_digest
+from repro.systems import get_system
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+#: The miniraft environment-fault campaign, smoke-sized: every fault
+#: kind (classic + crash/partition/msg_drop) over a one-point sweep.
+ENV_CAMPAIGN = dict(
+    repeats=2,
+    delay_values_ms=(2000.0,),
+    seed=7,
+    budget_per_fault=2,
+    fault_kinds=expand_kinds("all"),
+)
+
+
+def _cli(*argv, **popen_kwargs):
+    env = dict(os.environ)
+    inherited = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = SRC + (os.pathsep + inherited if inherited else "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli"] + list(argv), env=env, **popen_kwargs
+    )
+
+
+def _start_manager():
+    """`repro serve --port 0`; returns (process, url) once it is healthy."""
+    proc = _cli(
+        "serve", "--port", "0", "--lease-ttl", "3",
+        stdout=subprocess.PIPE, text=True,
+    )
+    line = proc.stdout.readline().strip()  # "repro manager listening on URL"
+    url = line.rsplit(" ", 1)[-1]
+    transport = HttpTransport(url)
+    for _ in range(50):
+        try:
+            assert transport.health()["protocol"] == 1
+            break
+        except (ReproError, OSError):
+            time.sleep(0.1)
+    else:
+        raise RuntimeError("manager at %s never became healthy" % url)
+    print("manager up at %s" % url)
+    return proc, url
+
+
+def _start_agent(url, name, *extra):
+    return _cli("agent", "--manager", url, "--workers", "2", "--name", name, *extra)
+
+
+def _remote_run(url, **overrides):
+    config = CSnakeConfig(
+        experiment_backend="remote", manager_url=url, **dict(ENV_CAMPAIGN, **overrides)
+    )
+    return campaign_digest(Pipeline.default(get_system("miniraft"), config).run())
+
+
+def main() -> int:
+    serial = campaign_digest(
+        Pipeline.default(get_system("miniraft"), CSnakeConfig(**ENV_CAMPAIGN)).run()
+    )
+    print("serial digest %s" % serial[:16])
+
+    cache_dir = os.path.join(tempfile.mkdtemp(prefix="service-smoke-"), "cache")
+    manager, url = _start_manager()
+    transport = HttpTransport(url)
+    agents = [_start_agent(url, "smoke-a"), _start_agent(url, "smoke-b")]
+    doomed = None
+    try:
+        cold = _remote_run(url, cache_dir=cache_dir)
+        assert cold == serial, "cold remote digest diverged: %s != %s" % (cold, serial)
+        print("cold remote digest ok")
+
+        warm = _remote_run(url, cache_dir=cache_dir)
+        assert warm == serial, "warm remote digest diverged: %s != %s" % (warm, serial)
+        fleet = {a["name"]: a.get("cache") or {} for a in transport.health()["agents"]}
+        hits = sum(c.get("hits", 0) for c in fleet.values())
+        assert hits > 0, "no warm-cache hits reported by any agent: %r" % fleet
+        print("warm remote digest ok, %d agent cache hits" % hits)
+
+        # Kill-rejoin.  The manager memoizes finished tasks, so a rerun of
+        # the same campaign would be served entirely from its result table
+        # — a new seed gives the campaign fresh task digests and forces
+        # real execution.  Retire the idle fleet, then run it on an agent
+        # that completes its first batch, leases the next one, and dies
+        # holding it (--fail-after).  Being alone it is guaranteed the
+        # work, so the death is deterministic; once its process exits a
+        # fresh survivor joins, the reaper re-queues the held tasks
+        # (TTL 3s), and the campaign completes with that seed's serial
+        # digest.  No cache here, so the doomed agent holds real work.
+        serial_kill = campaign_digest(
+            Pipeline.default(
+                get_system("miniraft"), CSnakeConfig(**dict(ENV_CAMPAIGN, seed=11))
+            ).run()
+        )
+        requeued_before = transport.health()["tasks"]["requeued"]
+        for proc in agents:
+            proc.terminate()
+        for proc in agents:
+            proc.wait(timeout=10)
+        agents = []
+        doomed = _start_agent(
+            url, "smoke-doomed", "--fail-after", "1", "--idle-exit", "60"
+        )
+        outcome = {}
+
+        def _kill_run():
+            try:
+                outcome["digest"] = _remote_run(url, seed=11)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                outcome["error"] = exc
+
+        runner = threading.Thread(target=_kill_run)
+        runner.start()
+        doomed.wait(timeout=120)  # dies as soon as real work flows
+        agents = [_start_agent(url, "smoke-survivor")]
+        runner.join(timeout=300)
+        assert not runner.is_alive(), "kill-rejoin campaign never finished"
+        if "error" in outcome:
+            raise outcome["error"]
+        assert outcome["digest"] == serial_kill, (
+            "post-kill remote digest diverged: %s != %s"
+            % (outcome["digest"], serial_kill)
+        )
+        stats = transport.health()["tasks"]
+        requeued = stats["requeued"] - requeued_before
+        assert requeued > 0, "the doomed agent's leases were never re-queued"
+        print(
+            "kill-rejoin digest ok (%d executed, %d leases re-queued)"
+            % (stats["executed"], requeued)
+        )
+
+        status = _cli("status", "--manager", url)
+        assert status.wait(timeout=30) == 0, "repro status failed"
+    finally:
+        for proc in agents + ([doomed] if doomed else []):
+            proc.terminate()
+        manager.terminate()
+        for proc in agents + [manager]:
+            proc.wait(timeout=10)
+    print("service smoke ok: 3 remote campaigns, all digests == serial")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

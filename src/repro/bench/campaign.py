@@ -54,7 +54,9 @@ def _campaign_once(
     doubles as a cache-cold ≡ cache-warm parity check.
     """
     recorder = EventRecorder()
-    executor = make_executor(workers if backend != "serial" else 1, backend)
+    executor = make_executor(
+        workers if backend != "serial" else 1, backend, manager_url=config.manager_url
+    )
     started = time.perf_counter()
     with executor:
         pipeline = Pipeline.default(
@@ -229,6 +231,80 @@ def _dfs_campaign_section(
     }
 
 
+def _remote_campaign_section(workers: int) -> Dict[str, Any]:
+    """Campaign-as-a-service benchmark (docs/service.md): one reduced toy
+    campaign through a live in-process manager (stdlib HTTP server) and
+    two agent threads, against its serial reference.
+
+    Records the remote campaign's submit-to-commit wall time (every
+    experiment crosses the wire: submit → lease → execute → complete →
+    ordered commit), per-agent task throughput, and the manager's
+    queue-wait statistics.  The digest parity bit rides the same
+    ``identical_to_serial`` convention as every other section, so
+    :func:`check_regression` gates remote ≡ serial too.
+    """
+    import dataclasses
+    import threading
+
+    from ..service.agent import Agent
+    from ..service.http import HttpTransport, ManagerServer
+
+    config = CSnakeConfig(
+        repeats=2, delay_values_ms=(500.0, 8000.0), seed=7, budget_per_fault=2
+    )
+    system = "toy"
+    results: Dict[str, Any] = {"serial": _campaign_once(system, config, "serial", 1)}
+    agent_workers = max(1, workers // 2)
+    with ManagerServer(port=0) as server:
+        agents = []
+        threads = []
+        for index in range(2):
+            agent = Agent(
+                HttpTransport(server.url),
+                workers=agent_workers,
+                name="bench-%d" % index,
+            )
+            thread = threading.Thread(
+                target=agent.run, kwargs={"idle_exit_s": 60.0}, daemon=True
+            )
+            thread.start()
+            agents.append(agent)
+            threads.append(thread)
+        try:
+            remote_config = dataclasses.replace(
+                config, experiment_backend="remote", manager_url=server.url
+            )
+            results["remote"] = _campaign_once(system, remote_config, "remote", workers)
+        finally:
+            for agent in agents:
+                agent.stop()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        stats = server.core.stats()
+    reference = results["serial"]
+    for entry in results.values():
+        entry["speedup_vs_serial"] = round(reference["wall_s"] / entry["wall_s"], 3)
+        entry["identical_to_serial"] = entry["digest"] == reference["digest"]
+    wall_s = results["remote"]["wall_s"]
+    return {
+        "system": system,
+        "config": config.to_dict(),
+        "backends": results,
+        "submit_to_commit_wall_s": wall_s,
+        "agents": [
+            {
+                "name": a["name"],
+                "workers": a["workers"],
+                "tasks_completed": a["completed"],
+                "tasks_per_s": round(a["completed"] / wall_s, 3) if wall_s else 0.0,
+            }
+            for a in stats["agents"]
+        ],
+        "tasks": stats["tasks"],
+        "queue_wait_s": stats["queue_wait_s"],
+    }
+
+
 def bench_campaign(
     system: Optional[str] = None,
     workers: Optional[int] = None,
@@ -318,6 +394,7 @@ def bench_campaign(
             backends, workers, cache_dir, schedules, adaptive_budget
         ),
         "dfs_campaign": _dfs_campaign_section(backends, workers, cache_dir),
+        "remote_campaign": _remote_campaign_section(workers),
     }
     if overhead:
         out["agent_overhead"] = measure_agent_overhead(
@@ -393,6 +470,7 @@ def check_regression(
     for section, label in (
         ("schedule_campaign", "schedule campaign"),
         ("dfs_campaign", "dfs campaign"),
+        ("remote_campaign", "remote campaign"),
     ):
         extra = result.get(section) or {}
         for backend, entry in extra.get("backends", {}).items():

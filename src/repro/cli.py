@@ -148,6 +148,8 @@ def _config(args: argparse.Namespace) -> CSnakeConfig:
             workers = os.cpu_count() or 1
     if workers is not None:
         params["experiment_workers"] = workers
+    if getattr(args, "manager", None) is not None:
+        params["manager_url"] = args.manager
     cache_dir = _cache_dir(args)
     if cache_dir is not None:
         params["cache_dir"] = cache_dir
@@ -352,6 +354,8 @@ def cmd_resume(args: argparse.Namespace) -> int:
         overrides["experiment_backend"] = args.backend
         if workers is None and args.backend != "serial":
             overrides["experiment_workers"] = os.cpu_count() or 1
+    if args.manager is not None:
+        overrides["manager_url"] = args.manager
     if args.no_cache:
         overrides["cache_dir"] = None
     else:
@@ -608,6 +612,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "unknown backend(s) %s; choose from %s"
             % (", ".join(unknown), ", ".join(BACKENDS))
         )
+    if "remote" in backends:
+        # The remote backend needs a live manager + agent fleet; the bench
+        # suite self-hosts one in its dedicated remote_campaign section.
+        raise SystemExit(
+            "--backends remote is not benchable directly; `repro bench` "
+            "self-hosts a manager + agents in its remote_campaign section"
+        )
     result = bench_campaign(
         system=args.system,
         workers=args.workers,
@@ -690,6 +701,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     else "",
                 )
             )
+    remote = result.get("remote_campaign")
+    if remote:
+        for backend in ("serial", "remote"):
+            entry = remote["backends"][backend]
+            print(
+                "remote   %-8s %7.3fs  %s"
+                % (
+                    backend,
+                    entry["wall_s"],
+                    "identical" if entry["identical_to_serial"] else "DIVERGED",
+                )
+            )
+        for agent in remote["agents"]:
+            print(
+                "remote agent %-10s %d tasks, %.1f tasks/s"
+                % (agent["name"], agent["tasks_completed"], agent["tasks_per_s"])
+            )
+        print(
+            "remote queue wait: mean %.3fs, max %.3fs"
+            % (remote["queue_wait_s"]["mean"], remote["queue_wait_s"]["max"])
+        )
     for phase, entry in sorted(result.get("profile", {}).items()):
         print("profile %-9s %7.3fs (instrumented)" % (phase, entry["wall_s"]))
         for row in entry["top"][:3]:
@@ -707,6 +739,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         diverged = diverged or any(
             not e["identical_to_serial"] for e in dfs["backends"].values()
         )
+    if remote:
+        diverged = diverged or any(
+            not e["identical_to_serial"] for e in remote["backends"].values()
+        )
     if diverged:
         print("error: parallel backend diverged from serial", file=sys.stderr)
         return 1
@@ -717,6 +753,184 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if failures:
             return 1
         print("no regression vs %s" % args.check)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Start the campaign manager (the service's central orchestrator)."""
+    from .service import ManagerCore, ManagerServer, create_fastapi_app
+
+    core = ManagerCore(lease_ttl_s=args.lease_ttl)
+    impl = args.impl
+    if impl == "auto":
+        try:
+            import fastapi  # noqa: F401
+            import uvicorn  # noqa: F401
+
+            impl = "fastapi"
+        except ImportError:
+            impl = "stdlib"
+    if impl == "fastapi":
+        import uvicorn
+
+        app = create_fastapi_app(core)
+        print("repro manager (fastapi) on http://%s:%d" % (args.host, args.port))
+        uvicorn.run(app, host=args.host, port=args.port, log_level="warning")
+        return 0
+    server = ManagerServer(core, host=args.host, port=args.port, verbose=args.verbose)
+    print("repro manager listening on %s" % server.url, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+    return 0
+
+
+def cmd_agent(args: argparse.Namespace) -> int:
+    """Run a worker agent against a manager until interrupted."""
+    from .service import Agent, HttpTransport
+
+    agent = Agent(
+        HttpTransport(args.manager),
+        workers=args.workers or (os.cpu_count() or 1),
+        name=args.name or "",
+        batch=args.batch,
+        fail_after_tasks=args.fail_after,
+    )
+    print(
+        "agent serving %s with %d workers" % (args.manager, agent.workers),
+        file=sys.stderr,
+    )
+    try:
+        completed = agent.run(idle_exit_s=args.idle_exit)
+    except KeyboardInterrupt:
+        agent.stop()
+        completed = agent.tasks_completed
+    print("agent exiting: %d tasks completed" % completed, file=sys.stderr)
+    return 0
+
+
+def _follow_campaign(transport, campaign_id: str, verbose: bool) -> dict:
+    """Stream a campaign's events (long-poll) until it finishes; returns
+    the final status."""
+    cursor = 0
+    while True:
+        reply = transport.campaign_events(campaign_id, after=cursor, wait_s=10.0)
+        for event in reply["events"]:
+            if verbose or event["kind"].startswith("campaign"):
+                detail = event["detail"]
+                line = ", ".join(
+                    "%s=%s" % (k, v) for k, v in sorted(detail.items()) if v not in (None, "")
+                )
+                print("[%s] %s %s" % (campaign_id, event["kind"], line), file=sys.stderr)
+        cursor = reply["next"]
+        if reply["state"] != "running" and not reply["events"]:
+            return transport.campaign_status(campaign_id)
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a campaign to a manager; optionally wait for the report."""
+    from .core.report import DetectionReport
+    from .service import HttpTransport
+
+    config = _config(args)
+    transport = HttpTransport(args.manager)
+    campaign_id = transport.start_campaign(
+        args.system, config.to_dict(), label=args.label or ""
+    )["campaign"]
+    print(campaign_id)
+    if not (args.wait or args.follow or args.json or args.out):
+        return 0
+    if args.follow:
+        status = _follow_campaign(transport, campaign_id, args.verbose)
+    else:
+        while True:
+            status = transport.campaign_status(campaign_id)
+            if status["state"] != "running":
+                break
+            reply = transport.campaign_events(
+                campaign_id, after=status["events"], wait_s=10.0
+            )
+            del reply
+    if status["state"] == "failed":
+        print("error: campaign failed: %s" % status["error"], file=sys.stderr)
+        return 2
+    report = DetectionReport.from_dict(transport.campaign_report(campaign_id))
+    _print_report(report, args)
+    return 0 if report.detected_bugs else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Manager overview, or one campaign's status / live event stream."""
+    from .service import HttpTransport
+
+    transport = HttpTransport(args.manager)
+    if args.campaign is None:
+        stats = transport.health()
+        if args.json:
+            json.dump(stats, sys.stdout, indent=1, sort_keys=True)
+            print()
+            return 0
+        tasks = stats["tasks"]
+        print(
+            "manager up %.0fs: %d agents, %d campaigns"
+            % (stats["uptime_s"], len(stats["agents"]), len(stats["campaigns"]))
+        )
+        print(
+            "tasks: %d total (%d queued, %d leased, %d done, %d failed); "
+            "%d executed, %d cross-campaign dedups, %d leases re-queued"
+            % (
+                tasks["total"], tasks["queued"], tasks["leased"], tasks["done"],
+                tasks["failed"], tasks["executed"], tasks["deduped"], tasks["requeued"],
+            )
+        )
+        print(
+            "queue wait: mean %.3fs, max %.3fs"
+            % (stats["queue_wait_s"]["mean"], stats["queue_wait_s"]["max"])
+        )
+        for agent in stats["agents"]:
+            cache = agent.get("cache") or {}
+            print(
+                "  agent %-12s %d workers, %d completed%s"
+                % (
+                    agent["name"], agent["workers"], agent["completed"],
+                    "  cache %s/%s hit" % (cache.get("hits"), cache.get("hits", 0) + cache.get("misses", 0))
+                    if cache else "",
+                )
+            )
+        for campaign in stats["campaigns"]:
+            print(
+                "  campaign %-12s %-8s %-8s %d/%d tasks"
+                % (
+                    campaign["campaign"], campaign["system"], campaign["state"],
+                    campaign["tasks"]["done"], campaign["tasks"]["total"],
+                )
+            )
+        return 0
+    if args.follow:
+        status = _follow_campaign(transport, args.campaign, verbose=True)
+    else:
+        status = transport.campaign_status(args.campaign)
+    if args.json:
+        json.dump(status, sys.stdout, indent=1, sort_keys=True)
+        print()
+        return 0
+    print(
+        "%s [%s] %s: %d/%d tasks"
+        % (
+            status["campaign"], status["system"], status["state"],
+            status["tasks"]["done"], status["tasks"]["total"],
+        )
+    )
+    if status["error"]:
+        print("  error: %s" % status["error"])
+    if status["digest"]:
+        print("  digest: %s" % status["digest"])
+    if status["summary"]:
+        for key, value in sorted(status["summary"].items()):
+            print("  %-18s %s" % (key, value))
     return 0
 
 
@@ -749,12 +963,17 @@ def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
         "--backend",
         choices=list(BACKENDS),
         default=None,
-        help="experiment executor: serial, thread, or process "
-        "(results are bit-identical across backends)",
+        help="experiment executor: serial, thread, process, or remote "
+        "(results are bit-identical across backends; remote needs --manager)",
     )
     parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="worker count for thread/process backends (default: all cores)",
+    )
+    parser.add_argument(
+        "--manager", default=None, metavar="URL",
+        help="manager URL of a `repro serve` instance (required by "
+        "--backend remote; see `repro serve`)",
     )
     parser.add_argument(
         "--parallel", type=int, default=None, metavar="N",
@@ -955,6 +1174,112 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-regression", type=float, default=2.0, metavar="X",
         help="allowed serial slowdown factor for --check (default 2.0)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="start the campaign manager: an HTTP work queue that "
+        "distributes experiments to `repro agent` workers and runs "
+        "submitted campaigns (see docs/service.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="HOST",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8736, metavar="PORT",
+        help="bind port; 0 picks an ephemeral port (default 8736)",
+    )
+    serve.add_argument(
+        "--lease-ttl", type=float, default=15.0, metavar="S",
+        help="agent lease duration in seconds: an agent silent for this "
+        "long is expired and its leased tasks re-queued (default 15)",
+    )
+    serve.add_argument(
+        "--impl", choices=("auto", "stdlib", "fastapi"), default="stdlib",
+        help="HTTP implementation: the dependency-free stdlib server "
+        "(default), fastapi+uvicorn, or auto (fastapi when installed)",
+    )
+    serve.add_argument(
+        "-v", "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    agent = sub.add_parser(
+        "agent",
+        help="run a worker agent: lease task batches from a manager, "
+        "execute them locally, report results + cache counters",
+    )
+    agent.add_argument(
+        "--manager", required=True, metavar="URL",
+        help="manager URL printed by `repro serve`",
+    )
+    agent.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="local execution threads (default: all cores)",
+    )
+    agent.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="agent name reported to the manager (default: assigned id)",
+    )
+    agent.add_argument(
+        "--batch", type=int, default=None, metavar="N",
+        help="max tasks leased per request (default: the worker count)",
+    )
+    agent.add_argument(
+        "--idle-exit", type=float, default=None, metavar="S",
+        help="exit after S seconds with nothing to lease (default: serve forever)",
+    )
+    agent.add_argument(
+        "--fail-after", type=int, default=None, metavar="N",
+        help="testing hook: complete N tasks, lease one more batch, then "
+        "die holding it (exercises lease expiry + re-queue)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a campaign to a manager (it runs server-side on the "
+        "agent fleet); optionally wait for and print the report",
+    )
+    submit.add_argument("system", choices=available_systems())
+    submit.add_argument(
+        "--manager", required=True, metavar="URL",
+        help="manager URL printed by `repro serve`",
+    )
+    submit.add_argument(
+        "--label", default=None, metavar="TEXT",
+        help="free-form campaign label shown in `repro status`",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the campaign finishes and print the report",
+    )
+    submit.add_argument(
+        "--follow", action="store_true",
+        help="like --wait, streaming progress events to stderr meanwhile",
+    )
+    _add_experiment_flags(submit)
+    _add_cache_flags(submit)
+    _add_output_flags(submit)
+
+    status = sub.add_parser(
+        "status",
+        help="manager overview (agents, queue, campaigns) or one "
+        "campaign's status / live event stream",
+    )
+    status.add_argument(
+        "campaign", nargs="?", default=None, metavar="CAMPAIGN",
+        help="campaign id printed by `repro submit` (omit for the overview)",
+    )
+    status.add_argument(
+        "--manager", required=True, metavar="URL",
+        help="manager URL printed by `repro serve`",
+    )
+    status.add_argument(
+        "--follow", action="store_true",
+        help="stream the campaign's events until it finishes",
+    )
+    status.add_argument(
+        "--json", action="store_true", help="print the status as JSON"
+    )
     return parser
 
 
@@ -969,6 +1294,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "resume": cmd_resume,
         "inject": cmd_inject,
         "bench": cmd_bench,
+        "serve": cmd_serve,
+        "agent": cmd_agent,
+        "submit": cmd_submit,
+        "status": cmd_status,
     }[args.command]
     try:
         return handler(args)

@@ -18,6 +18,7 @@ EXECUTION_ONLY_KNOBS: Tuple[str, ...] = (
     "experiment_backend",
     "beam_workers",
     "cache_dir",
+    "manager_url",
 )
 
 #: Delay sweep used for contention injection (§4.2): seven values between
@@ -135,9 +136,14 @@ class CSnakeConfig:
     experiment_workers: int = 1
     #: Executor backend for experiment fan-out: ``"thread"`` (default,
     #: shared-memory workers), ``"process"`` (true multicore via picklable
-    #: task descriptors), or ``"serial"`` (force the reference backend
-    #: regardless of ``experiment_workers``).
+    #: task descriptors), ``"remote"`` (ship task descriptors to a
+    #: ``repro serve`` manager's agent fleet; needs ``manager_url``), or
+    #: ``"serial"`` (force the reference backend regardless of
+    #: ``experiment_workers``).
     experiment_backend: str = "thread"
+    #: Base URL of the campaign manager (``repro serve``) used by the
+    #: ``remote`` backend; execution-only, like the backend choice itself.
+    manager_url: "Optional[str]" = None
     #: Root directory of the content-addressed experiment cache, or
     #: ``None`` (default) to disable caching.  Cached profile run groups
     #: and FCA results are keyed by a digest of (system digest, test id,
@@ -163,10 +169,15 @@ class CSnakeConfig:
             raise ConfigError("cycles need at least 2 edges")
         if self.beam_workers < 1 or self.experiment_workers < 1:
             raise ConfigError("worker counts must be at least 1")
-        if self.experiment_backend not in ("serial", "thread", "process"):
+        if self.experiment_backend not in ("serial", "thread", "process", "remote"):
             raise ConfigError(
-                "experiment_backend must be serial, thread, or process, got %r"
+                "experiment_backend must be serial, thread, process, or remote, got %r"
                 % (self.experiment_backend,)
+            )
+        if self.experiment_backend == "remote" and not self.manager_url:
+            raise ConfigError(
+                "the remote backend needs manager_url (--manager URL of a "
+                "`repro serve` instance)"
             )
 
     def _validate_fault_kinds(self) -> None:

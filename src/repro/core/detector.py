@@ -45,7 +45,11 @@ class CSnake:
         self.ctx = PipelineContext(
             self.spec,
             self.config,
-            make_executor(self.config.experiment_workers, self.config.experiment_backend),
+            make_executor(
+                self.config.experiment_workers,
+                self.config.experiment_backend,
+                self.config.manager_url,
+            ),
         )
 
     # ----------------------------------------------------- legacy accessors

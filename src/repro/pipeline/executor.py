@@ -27,7 +27,10 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 #: The executor backends accepted by :func:`make_executor` and the CLI.
-BACKENDS = ("serial", "thread", "process")
+#: ``remote`` is the distributed one: it ships task descriptors to a
+#: ``repro serve`` manager whose agent fleet executes them
+#: (:mod:`repro.service`).
+BACKENDS = ("serial", "thread", "process", "remote")
 
 
 class Executor:
@@ -123,16 +126,26 @@ class ProcessExecutor(Executor):
             self._pool = None
 
 
-def make_executor(workers: int, backend: str = "thread") -> Executor:
+def make_executor(
+    workers: int, backend: str = "thread", manager_url: Optional[str] = None
+) -> Executor:
     """Build the backend named by ``backend`` with ``workers`` workers.
 
     ``workers <= 1`` (or ``backend="serial"``) always yields the serial
     reference backend — a one-worker pool adds overhead and nothing else.
+    The ``remote`` backend ignores the local worker count (its parallelism
+    is the agent fleet's) and requires ``manager_url``.
     """
     if backend not in BACKENDS:
         raise ValueError(
             "unknown executor backend %r (choose from %s)" % (backend, ", ".join(BACKENDS))
         )
+    if backend == "remote":
+        if not manager_url:
+            raise ValueError("the remote backend needs a manager URL (--manager)")
+        from ..service import HttpTransport, RemoteExecutor  # deferred: optional layer
+
+        return RemoteExecutor(HttpTransport(manager_url), max_workers=max(2, workers))
     if workers <= 1 or backend == "serial":
         return SerialExecutor()
     if backend == "process":

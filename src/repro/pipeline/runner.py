@@ -56,7 +56,9 @@ class Pipeline:
             self.executor = ctx.executor
         else:
             self.executor = executor or make_executor(
-                self.config.experiment_workers, self.config.experiment_backend
+                self.config.experiment_workers,
+                self.config.experiment_backend,
+                self.config.manager_url,
             )
             self.ctx = PipelineContext(spec, self.config, self.executor)
         self.stages: List[Stage] = list(stages) if stages is not None else default_stages()

@@ -14,7 +14,10 @@ import json
 import os
 from collections import Counter
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core.driver import ExperimentTask
 
 from .core.clustering import Clustering, FaultCluster
 from .core.cycles import Cycle
@@ -218,6 +221,59 @@ def group_from_obj(obj: Dict[str, Any]) -> RunGroup:
     for run in obj["runs"]:
         group.add(trace_from_obj(run))
     return group
+
+
+# ------------------------------------------------- experiment task descriptors
+
+
+def task_to_obj(task: "ExperimentTask") -> Dict[str, Any]:
+    """Wire form of one :class:`~repro.core.driver.ExperimentTask`.
+
+    The config snapshot stays the *canonical JSON string* the driver
+    computed (sorted keys), so a round-trip reproduces the exact
+    ``config_json`` and the worker-side driver cache keys on identical
+    strings whichever transport carried the task.
+    """
+    return {
+        "system": task.system_name,
+        "test_id": task.test_id,
+        "config_json": task.config_json,
+        "fault": None if task.fault is None else fault_to_obj(task.fault),
+        "plans": [plan_to_obj(p) for p in task.plans],
+    }
+
+
+def task_from_obj(obj: Dict[str, Any]) -> "ExperimentTask":
+    from .core.driver import ExperimentTask  # deferred: core imports serialize users
+
+    fault = obj["fault"]
+    plans = [plan_from_obj(p) for p in obj["plans"]]
+    return ExperimentTask(
+        system_name=obj["system"],
+        test_id=obj["test_id"],
+        config_json=obj["config_json"],
+        fault=None if fault is None else fault_from_obj(fault),
+        plans=tuple(p for p in plans if p is not None),
+    )
+
+
+def task_result_to_obj(result: Any) -> Dict[str, Any]:
+    """Wire form of what :func:`execute_experiment_task` returns.
+
+    Profile tasks yield a :class:`RunGroup`; experiment tasks yield an
+    ``(FcaResult, runs)`` pair.  The envelope is tagged so the receiving
+    side needs no out-of-band knowledge of which task produced it.
+    """
+    if isinstance(result, RunGroup):
+        return {"kind": "profile", "group": group_to_obj(result)}
+    fca, runs = result
+    return {"kind": "experiment", "fca": fca_to_obj(fca), "runs": runs}
+
+
+def task_result_from_obj(obj: Dict[str, Any]) -> Any:
+    if obj["kind"] == "profile":
+        return group_from_obj(obj["group"])
+    return (fca_from_obj(obj["fca"]), obj["runs"])
 
 
 # ------------------------------------------------------------- FCA results

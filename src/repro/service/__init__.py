@@ -1,0 +1,33 @@
+"""Campaign-as-a-service: manager/agent distributed execution.
+
+The subsystem has four parts, layered so every piece is testable without
+a network and the whole service runs on the standard library alone:
+
+* :mod:`repro.service.manager` — :class:`ManagerCore`, the thread-safe
+  lease-based work queue + campaign registry (pure state machine, clock
+  injectable);
+* :mod:`repro.service.remote` — :class:`RemoteExecutor`, the fourth
+  :class:`~repro.pipeline.executor.Executor` backend (``--backend
+  remote``), plus the transport seam (:class:`LocalTransport` in-process,
+  :class:`~repro.service.http.HttpTransport` over the wire);
+* :mod:`repro.service.http` — stdlib ``http.server`` JSON API (FastAPI
+  app factory available when the package is installed);
+* :mod:`repro.service.agent` — the worker agent loop (``repro agent``).
+"""
+
+from .agent import Agent, execute_wire_task
+from .http import HttpTransport, ManagerServer, create_fastapi_app
+from .manager import ManagerCore, task_digest
+from .remote import LocalTransport, RemoteExecutor
+
+__all__ = [
+    "Agent",
+    "HttpTransport",
+    "LocalTransport",
+    "ManagerCore",
+    "ManagerServer",
+    "RemoteExecutor",
+    "create_fastapi_app",
+    "execute_wire_task",
+    "task_digest",
+]

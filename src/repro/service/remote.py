@@ -1,0 +1,128 @@
+"""``--backend remote``: the Executor that ships tasks to the manager.
+
+:class:`RemoteExecutor` is the fourth
+:class:`~repro.pipeline.executor.Executor` backend.  It advertises
+``requires_pickling`` exactly like the process backend, so the driver
+already hands it picklable :class:`~repro.core.driver.ExperimentTask`
+descriptors and a module-level entry point — the executor serializes each
+descriptor to its wire form, submits the batch to the manager queue, and
+blocks until every result (possibly computed out of order, by several
+agents, with mid-batch agent deaths and re-queues) is resolved.  Results
+return **in input order**, and the driver keeps committing in submission
+order, so a remote campaign's digest is bit-identical to a serial one by
+the same argument that covers the thread and process backends.
+
+The transport is a seam: :class:`LocalTransport` calls a
+:class:`~repro.service.manager.ManagerCore` in-process (used by tests and
+by manager-side campaigns, where HTTP to ``self`` would be silly);
+:class:`~repro.service.http.HttpTransport` speaks the JSON API.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional
+
+from ..errors import ReproError
+from ..pipeline.executor import Executor
+from ..serialize import task_result_from_obj, task_to_obj
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.driver import ExperimentTask
+    from .manager import ManagerCore
+
+#: How long one result poll blocks manager-side before the executor
+#: re-checks for shutdown; purely an execution knob.
+POLL_WAIT_S = 2.0
+
+
+class Transport:
+    """Minimal manager client surface the executor needs."""
+
+    def submit_tasks(
+        self, tasks: List[Dict[str, Any]], campaign: Optional[str] = None
+    ) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def poll_results(self, ids: List[str], wait_s: float = 0.0) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class LocalTransport(Transport):
+    """In-process transport: direct calls into a :class:`ManagerCore`."""
+
+    def __init__(self, core: "ManagerCore") -> None:
+        self.core = core
+
+    def submit_tasks(
+        self, tasks: List[Dict[str, Any]], campaign: Optional[str] = None
+    ) -> Dict[str, Any]:
+        return self.core.submit_tasks(tasks, campaign=campaign)
+
+    def poll_results(self, ids: List[str], wait_s: float = 0.0) -> Dict[str, Any]:
+        return self.core.poll_results(ids, wait_s=wait_s)
+
+
+class RemoteExecutor(Executor):
+    """Ordered map over the manager's distributed task queue.
+
+    ``timeout_s`` bounds how long one batch may sit with **no** task
+    resolving (a fleet that never picks work up); any progress resets the
+    clock, so slow-but-alive fleets are never killed mid-batch.
+    """
+
+    requires_pickling = True
+
+    def __init__(
+        self,
+        transport: Transport,
+        max_workers: int = 8,
+        campaign: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        if max_workers < 2:
+            # The driver skips fan-out entirely at max_workers <= 1; a
+            # remote backend that silently runs serially would be a
+            # misconfiguration, not an optimization.
+            raise ReproError("RemoteExecutor needs max_workers >= 2")
+        self.transport = transport
+        self.max_workers = max_workers
+        self.campaign = campaign
+        self.timeout_s = timeout_s
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        from ..core.driver import execute_experiment_task
+
+        if fn is not execute_experiment_task:
+            raise ReproError(
+                "the remote backend executes ExperimentTask descriptors only "
+                "(got %r); use the thread or serial backend for ad-hoc callables"
+                % (getattr(fn, "__name__", fn),)
+            )
+        tasks: List["ExperimentTask"] = list(items)
+        if not tasks:
+            return []
+        objs = [task_to_obj(t) for t in tasks]
+        ids = self.transport.submit_tasks(objs, campaign=self.campaign)["ids"]
+        resolved: Dict[str, Dict[str, Any]] = {}
+        stalled_s = 0.0
+        while len(resolved) < len(set(ids)):
+            pending = sorted({i for i in ids if i not in resolved})
+            reply = self.transport.poll_results(pending, wait_s=POLL_WAIT_S)
+            if reply["done"]:
+                resolved.update(reply["done"])
+                stalled_s = 0.0
+            else:
+                stalled_s += POLL_WAIT_S
+                if self.timeout_s is not None and stalled_s >= self.timeout_s:
+                    raise ReproError(
+                        "remote batch stalled: %d/%d tasks unresolved after %.0fs "
+                        "with no progress (are any agents connected?)"
+                        % (len(pending), len(ids), stalled_s)
+                    )
+        out: List[Any] = []
+        for task_id in ids:
+            outcome = resolved[task_id]
+            if "error" in outcome:
+                raise ReproError("remote task failed: %s" % (outcome["error"],))
+            out.append(task_result_from_obj(outcome["result"]))
+        return out

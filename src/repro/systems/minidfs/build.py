@@ -22,7 +22,7 @@ ENV_PORT = EnvFaultPort(
 
 def build_system() -> SystemSpec:
     spec = SystemSpec(
-        name="minidfs", version="1", registry=build_registry(), env_port=ENV_PORT,
+        name="minidfs", version="2", registry=build_registry(), env_port=ENV_PORT,
         source_modules=("repro.systems.minidfs.nodes", "repro.workloads.dfs"),
     )
     for workload in dfs_workloads():
@@ -107,6 +107,36 @@ def build_system() -> SystemSpec:
                 {
                     FaultKey(ENV_PORT.node_site_id(n), InjKind("membership_churn"))
                     for n in ENV_PORT.nodes
+                }
+            ),
+            alt_detectable=False,
+        ),
+        KnownBug(
+            bug_id="DFS-4",
+            description=(
+                "Ack-loss retry storm: with explicit transfer acks "
+                "configured, the master trusts a re-replication placement "
+                "only once the target's one-way ack datagram arrives, and "
+                "retries unacked transfers — re-copying blocks the target "
+                "already holds when only the ack was lost.  A retry that "
+                "itself times out reads as wholesale ack loss, so every "
+                "inflight transfer is retried too; the duplicate copies "
+                "keep the datanodes too busy to flush acks in time.  Only "
+                "datagram loss (msg_drop, which never touches RPCs) "
+                "exposes the triggering disturbance — acks are the "
+                "system's only load-bearing datagrams."
+            ),
+            signature="1D|1E|0N",
+            core_faults=frozenset(
+                {
+                    FaultKey("dn.ack.build", InjKind.DELAY),
+                    FaultKey("nn.retry.rpc", InjKind.EXCEPTION),
+                }
+            ),
+            trigger_faults=frozenset(
+                {
+                    FaultKey(ENV_PORT.link_site_id("nn0", d), InjKind("msg_drop"))
+                    for d in ("dn0", "dn1", "dn2")
                 }
             ),
             alt_detectable=False,

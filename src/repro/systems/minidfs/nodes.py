@@ -28,6 +28,18 @@ surviving datanodes too busy to answer in time.  Only a rolling
 crash/restart wave (the ``membership_churn`` schedule) makes the master's
 heartbeat-based liveness view stale enough to pick dead sources while
 new deaths keep arriving; no single crash sustains the loop.
+
+DFS-4 (ack-loss retry storm): with explicit transfer acks configured,
+the master trusts a re-replication placement only once the target's
+one-way ack *datagram* arrives; unacked transfers past the timeout are
+retried.  The ack is a datagram, not an RPC — when the network silently
+eats it, the master re-copies a block the target already holds, and a
+retry that itself times out reads as wholesale ack loss, so every
+inflight transfer is presumed lost and retried too.  The duplicate
+transfer work keeps the datanodes too busy to flush acks in time, which
+is exactly what makes the next scan read every transfer as lost.  Only
+datagram loss (the ``msg_drop`` fault model, which never touches RPCs)
+exposes the triggering disturbance.
 """
 
 from __future__ import annotations
@@ -75,6 +87,20 @@ class DfsConfig:
         self.serve_rpc_timeout_ms = 8_000.0  # target -> source pull timeout
         self.rescan_on_failure = False  # grow the pending set on a failed transfer
         self.rescan_window = 6  # placed blocks re-verified per failure
+        # Explicit transfer acks (off by default): the master trusts a
+        # re-replication placement only once the target's one-way ack
+        # datagram arrives; unacked transfers past the timeout are retried.
+        self.rerepl_ack_required = False
+        self.ack_flush_interval_ms = 6_000.0  # dn-side batched ack flush cadence
+        self.ack_build_cost_ms = 40.0  # dn-side per-ack digest cost
+        self.ack_timeout_ms = 2_500.0  # unacked transfer age that reads as lost
+        self.ack_scan_tick_ms = 2_000.0  # master-side overdue-ack scan cadence
+        self.ack_scan_cost_ms = 2.0  # master-side per-entry scan cost
+        self.ack_panic_window_ms = 25_000.0  # distrust window after a retry failure
+        self.retry_rpc_timeout_ms = 10_000.0
+        # Presume wholesale ack loss when a retry itself times out: every
+        # inflight transfer is aged past the timeout and retried too.
+        self.retry_panic = True
         # Standby failover (datanode side).
         # Promote the best live standby when the master-liveness detector
         # trips — on by default; a fault-free run never trips the detector,
@@ -112,6 +138,7 @@ class DfsNode(Node):
         # Datanode state.
         self.replicas: Set[int] = set()  # block ids stored on this dn
         self.pending_receipts: List[int] = []  # IBR queue for the next heartbeat
+        self.pending_acks: List[int] = []  # transfer acks awaiting the next flush
         self.registered = False
         self.register_attempts = 0
         self.register_backoff_ms = cfg.register_backoff_ms
@@ -125,6 +152,12 @@ class DfsNode(Node):
         self.pending_rerepl: List[int] = []  # under-replicated block queue
         self.rescan_backlog = 0  # placed blocks to re-verify after a failed transfer
         self.transfers_failed = 0
+        # Ack-mode bookkeeping: block -> (target, source, issue time) for
+        # transfers whose ack datagram has not arrived yet.
+        self.inflight_acks: Dict[int, Tuple[str, str, float]] = {}
+        self.ack_panic_until = 0.0  # ack channel distrusted until this time
+        self.retries_issued = 0
+        self.acks_received = 0
         # Config-cache probe: depends only on constructor configuration, so
         # the §7 final-only rule excludes it from the fault space.
         rt.detector("dn.conf.is_cached", cfg.replication_factor > 0)
@@ -144,9 +177,16 @@ class DfsNode(Node):
                 self, cfg.failover_tick_ms, self.failover_tick,
                 jitter_ms=60.0 * self.priority,
             )
+        if self.is_datanode and cfg.rerepl_enabled and cfg.rerepl_ack_required:
+            env.every(
+                self, cfg.ack_flush_interval_ms, self.ack_flush_tick,
+                jitter_ms=80.0 * self.priority,
+            )
         env.every(self, cfg.liveness_tick_ms, self.liveness_tick, jitter_ms=50.0)
         if cfg.rerepl_enabled:
             env.every(self, cfg.rerepl_tick_ms, self.rerepl_tick, jitter_ms=30.0)
+            if cfg.rerepl_ack_required:
+                env.every(self, cfg.ack_scan_tick_ms, self.ack_scan_tick, jitter_ms=40.0)
 
     def on_restart(self) -> None:
         """Crash recovery: replicas are durable, everything else is volatile.
@@ -162,12 +202,15 @@ class DfsNode(Node):
             self.registered = False
             self.register_backoff_ms = self.cfg.register_backoff_ms
             self.pending_receipts = []
+            self.pending_acks = []
             self.env.after(self, 1_000.0, self.register_with_master)
         if self.is_master:
             self.block_map = {}
             self.last_dn_heartbeat = {}
             self.pending_rerepl = []
             self.rescan_backlog = 0
+            self.inflight_acks = {}
+            self.ack_panic_until = 0.0
         self._register_ticks()
 
     # ------------------------------------------------------------- helpers
@@ -319,6 +362,8 @@ class DfsNode(Node):
             self.last_dn_heartbeat = {}
             self.pending_rerepl = []
             self.rescan_backlog = 0
+            self.inflight_acks = {}
+            self.ack_panic_until = 0.0
             reports: List[Tuple[str, List[int]]] = []
             for peer in self.datanodes():
                 if peer is self:
@@ -405,6 +450,8 @@ class DfsNode(Node):
                 self.env.spin(chunk_cost)
             self.replicas.add(block)
             self.pending_receipts.append(block)
+            if source is not None and self.cfg.rerepl_ack_required:
+                self.pending_acks.append(block)
             rest = [n for n in pipeline if n != self.name]
             if rest:
                 target = next((p for p in self.peers if p.name == rest[0]), None)
@@ -415,6 +462,24 @@ class DfsNode(Node):
                         timeout_ms=self.cfg.pipe_rpc_timeout_ms,
                     )
             return True
+
+    def ack_flush_tick(self) -> None:
+        """Flush queued re-replication acks as one-way datagrams.
+
+        Deliberately datagrams, not RPCs: the transfer itself already ran
+        over a connection, the ack is fire-and-forget bookkeeping — which
+        is exactly the surface the ``msg_drop`` fault model can eat.
+        """
+        if not self.pending_acks:
+            return
+        master = self.master()
+        if master is None or master is self:
+            return
+        with self.rt.function("DfsNode.ack_flush_tick"):
+            acks, self.pending_acks = self.pending_acks, []
+            for block in self.rt.loop("dn.ack.build", acks):
+                self.env.spin(self.cfg.ack_build_cost_ms)
+                self.env.send(master, master.handle_rerepl_ack, block, self.name)
 
     def handle_read(self, block: int) -> int:
         self.check_alive()
@@ -491,7 +556,7 @@ class DfsNode(Node):
             under = self.rt.detector(
                 "nn.block.is_under", len(holders) < self.cfg.replication_factor
             )
-            if under and block not in self.pending_rerepl:
+            if under and block not in self.pending_rerepl and block not in self.inflight_acks:
                 self.pending_rerepl.append(block)
 
     def rerepl_tick(self) -> None:
@@ -516,6 +581,8 @@ class DfsNode(Node):
             verified = 0
             for block in self.rt.loop("nn.rerepl.scan", scan):
                 self.env.spin(self.cfg.rerepl_scan_cost_ms)
+                if block in self.inflight_acks:
+                    continue  # the ack machinery owns it until acked or aged out
                 holders = self.block_map.get(block, set())
                 live_holders = sorted(h for h in holders if h in live)
                 if block in verify:
@@ -556,9 +623,78 @@ class DfsNode(Node):
                         # the survivors too busy to answer this one.
                         self.rescan_backlog += self.cfg.rescan_window
                     continue
-                self.block_map.setdefault(block, set()).add(target.name)
+                if self.cfg.rerepl_ack_required and block not in verify:
+                    # Placement is provisional until the target's ack
+                    # datagram arrives (verify transfers stay immediate:
+                    # both ends already hold the block).
+                    self.inflight_acks[block] = (target.name, sources[0], self.env.now)
+                else:
+                    self.block_map.setdefault(block, set()).add(target.name)
             self.pending_rerepl = still_pending
             self.rescan_backlog = max(0, self.rescan_backlog - verified)
+
+    def handle_rerepl_ack(self, block: int, name: str) -> None:
+        """One-way transfer ack: the provisional placement is now trusted."""
+        if not self.is_master:
+            return
+        self.acks_received += 1
+        self.inflight_acks.pop(block, None)
+        self.block_map.setdefault(block, set()).add(name)
+
+    def ack_scan_tick(self) -> None:
+        """Master overdue-ack scan: retry transfers whose ack never came.
+
+        The retry re-copies the block to its target — correct when the
+        *transfer* was lost, pure duplicate work when only the ack was.
+        """
+        if not self.is_master:
+            return
+        with self.rt.function("DfsNode.ack_scan_tick"):
+            live = set(self.live_view())
+            distrust = self.env.now < self.ack_panic_until
+            overdue: List[int] = []
+            for block in self.rt.loop("nn.ack.scan", sorted(self.inflight_acks)):
+                self.env.spin(self.cfg.ack_scan_cost_ms)
+                aged = self.env.now - self.inflight_acks[block][2] > self.cfg.ack_timeout_ms
+                if aged or distrust:
+                    overdue.append(block)
+            for block in overdue:
+                target_name, source_name, _ = self.inflight_acks[block]
+                if target_name not in live:
+                    # The target died: hand the block back to the normal
+                    # re-replication planner.
+                    self.inflight_acks.pop(block, None)
+                    if block not in self.pending_rerepl:
+                        self.pending_rerepl.append(block)
+                    continue
+                target = next(
+                    (p for p in self.datanodes() if p.name == target_name), None
+                )
+                if target is None:  # pragma: no cover - live view names peers
+                    self.inflight_acks.pop(block, None)
+                    continue
+                self.retries_issued += 1
+                try:
+                    self.rt.lib_call(
+                        "nn.retry.rpc", IOEx, self.env.rpc, target,
+                        target.handle_receive, block, [target_name], source_name,
+                        timeout_ms=self.cfg.retry_rpc_timeout_ms,
+                    )
+                except IOEx:
+                    panic = self.rt.branch("nn.ack.b_panic", self.cfg.retry_panic)
+                    if panic:
+                        # THE BUG (DFS-4): a retry that itself timed out
+                        # reads as wholesale ack-channel loss, so the ack
+                        # path is distrusted for a whole window — every
+                        # scan inside it retries every inflight transfer,
+                        # however fresh.  The duplicate copies keep the
+                        # datanodes too busy to flush acks promptly, and
+                        # any late retry answer re-opens the window.
+                        self.ack_panic_until = (
+                            self.env.now + self.cfg.ack_panic_window_ms
+                        )
+                    continue
+                self.inflight_acks[block] = (target_name, source_name, self.env.now)
 
     def update_metrics(self) -> None:
         """Flush the master's gauge set (constant-bound loop: the §4.1

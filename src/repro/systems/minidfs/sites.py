@@ -15,6 +15,9 @@ def build_registry() -> SiteRegistry:
     reg.loop("nn.rerepl.scan", "DfsNode.rerepl_tick", does_io=True, body_size=40)
     reg.lib_call("nn.rerepl.rpc", "DfsNode.rerepl_tick", exception="SocketTimeoutException")
     reg.branch("nn.rerepl.b_rescan", "DfsNode.rerepl_tick")
+    reg.loop("nn.ack.scan", "DfsNode.ack_scan_tick", does_io=True, body_size=34)
+    reg.lib_call("nn.retry.rpc", "DfsNode.ack_scan_tick", exception="SocketTimeoutException")
+    reg.branch("nn.ack.b_panic", "DfsNode.ack_scan_tick")
     reg.throw("nn.write.not_master", "DfsNode.handle_allocate", exception="NotMasterException")
 
     # Datanodes: heartbeats, (re-)registration, block pipelines.
@@ -30,6 +33,7 @@ def build_registry() -> SiteRegistry:
     reg.lib_call("dn.serve.rpc", "DfsNode.handle_receive", exception="SocketTimeoutException")
     reg.loop("dn.read.chunks", "DfsNode.handle_read", does_io=True, body_size=22)
     reg.throw("dn.disk.full_ioe", "DfsNode.handle_write", exception="DiskFullException")
+    reg.loop("dn.ack.build", "DfsNode.ack_flush_tick", does_io=True, body_size=16)
 
     # Standby failover: master-liveness detection, priority promotion,
     # namespace rebuild from full reports.

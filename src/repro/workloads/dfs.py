@@ -90,12 +90,16 @@ def wl_failover(env: SimEnv, rt: Runtime) -> None:
 
 
 def wl_churn(env: SimEnv, rt: Runtime) -> None:
-    """Membership-churn drill: re-replication with rescan-on-failure
-    enabled, plus a scripted crash/restart of ``dn1`` timed so the drill's
-    transfers all complete before the restart — profile runs exercise the
-    scan, transfer, and post-restart re-registration paths with no
-    transfer ever failing."""
-    cfg = DfsConfig(rerepl_enabled=True, rescan_on_failure=True)
+    """Membership-churn drill: re-replication with rescan-on-failure and
+    explicit transfer acks enabled, plus a scripted crash/restart of
+    ``dn1`` timed so the drill's transfers all complete before the
+    restart — profile runs exercise the scan, transfer, ack-flush, and
+    post-restart re-registration paths with no transfer ever failing.
+    The batched ack flush cadence naturally outlives the tight ack
+    timeout for a fraction of the transfers, so a few overdue-ack
+    retries fire (and succeed) in every fault-free run."""
+    cfg = DfsConfig(rerepl_enabled=True, rescan_on_failure=True,
+                    rerepl_ack_required=True)
     nodes = build_cluster(env, rt, cfg)
     env.schedule_at(30_000.0, None, nodes[2].crash)
     env.schedule_at(80_000.0, None, nodes[2].restart)

@@ -1,13 +1,14 @@
-"""End-to-end detection coverage of the three seeded MiniDFS bugs.
+"""End-to-end detection coverage of the four seeded MiniDFS bugs.
 
 Each bug's cycle is stitched from classic (code-level) experiments, but
 detection is gated on a discovered edge from a *different* disturbance
-class per bug: DFS-1 needs a node crash, DFS-2 a link partition, and
-DFS-3 the composed ``membership_churn`` schedule — a rolling
-crash/restart wave no single-fault campaign can produce.  The campaign
-matrix therefore separates the fault models sharply: classic-only
-detects nothing, ``--fault-kinds all`` detects DFS-1 and DFS-2, and only
-a ``--schedules`` campaign detects all three.
+class per bug: DFS-1 needs a node crash, DFS-2 a link partition, DFS-4
+datagram loss (``msg_drop``), and DFS-3 the composed
+``membership_churn`` schedule — a rolling crash/restart wave no
+single-fault campaign can produce.  The campaign matrix therefore
+separates the fault models sharply: classic-only detects nothing,
+``--fault-kinds all`` detects DFS-1, DFS-2, and DFS-4, and only a
+``--schedules`` campaign detects all four.
 """
 
 import hashlib
@@ -51,6 +52,13 @@ CHAINS = {
         ],
         (FaultKey("env.node.dn0", InjKind("membership_churn")), "dfs.churn"),
     ),
+    "DFS-4": (
+        [
+            (FaultKey("dn.ack.build", InjKind.DELAY), "dfs.churn"),
+            (FaultKey("nn.retry.rpc", InjKind.EXCEPTION), "dfs.churn"),
+        ],
+        (FaultKey("env.link.dn0~nn0", InjKind("msg_drop")), "dfs.churn"),
+    ),
 }
 
 
@@ -92,7 +100,7 @@ def test_designated_chain_stitches_cycle_and_trigger_gates_detection(bug_id):
     assert bug_id in [m.bug.bug_id for m in with_trigger if m.detected]
 
 
-def test_full_campaign_with_schedules_detects_all_three():
+def test_full_campaign_with_schedules_detects_all_four():
     """The acceptance campaign: default budget and sweeps, all fault
     kinds plus composed schedules, adaptive reallocation on."""
     cfg = CSnakeConfig(
@@ -102,7 +110,7 @@ def test_full_campaign_with_schedules_detects_all_three():
         seed=7,
     )
     report = Pipeline.default(get_system("minidfs"), cfg).run().get("report")
-    assert report.detected_bugs == ["DFS-1", "DFS-2", "DFS-3"]
+    assert report.detected_bugs == ["DFS-1", "DFS-2", "DFS-3", "DFS-4"]
 
 
 def test_classic_campaign_detects_none():
@@ -117,9 +125,10 @@ def test_classic_campaign_detects_none():
 
 
 def test_env_campaign_without_schedules_misses_dfs3():
-    """Single environment faults detect the crash- and partition-gated
-    bugs but never the churn-gated one: DFS-3's trigger edge needs the
-    rolling crash/restart wave only the composed schedule produces."""
+    """Single environment faults detect the crash-, partition-, and
+    drop-gated bugs but never the churn-gated one: DFS-3's trigger edge
+    needs the rolling crash/restart wave only the composed schedule
+    produces."""
     cfg = CSnakeConfig(
         fault_kinds=expand_kinds("all"), adaptive_budget=True, seed=7
     )
@@ -127,6 +136,7 @@ def test_env_campaign_without_schedules_misses_dfs3():
     assert "DFS-3" not in report.detected_bugs
     assert "DFS-1" in report.detected_bugs
     assert "DFS-2" in report.detected_bugs
+    assert "DFS-4" in report.detected_bugs
 
 
 def _digest(ctx):

@@ -1,0 +1,177 @@
+"""Integration tests for campaign-as-a-service (manager + agents).
+
+Everything here uses the **stdlib** HTTP server and transport (or the
+in-process :class:`LocalTransport`): FastAPI must not be required for
+any of it, because the acceptance contract is that the service works on
+a bare Python install.  The invariant under test throughout is the one
+the executor contract promises: a remote campaign's digest is
+bit-identical to a serial one — cold, warm, and across an agent death
+mid-run.
+"""
+
+import threading
+
+import pytest
+
+from repro.config import CSnakeConfig
+from repro.pipeline import Pipeline
+from repro.pipeline.executor import make_executor
+from repro.service.agent import Agent
+from repro.service.http import HttpTransport, ManagerServer
+from repro.service.manager import ManagerCore, campaign_digest
+from repro.systems import get_system
+
+#: Small but non-trivial toy campaign: a few dozen tasks, seconds to run.
+CFG = dict(repeats=2, delay_values_ms=(500.0,), seed=3, budget_per_fault=2)
+
+
+def _serial(config=None):
+    return Pipeline.default(get_system("toy"), config or CSnakeConfig(**CFG)).run()
+
+
+def _agent_thread(transport, **kwargs):
+    agent = Agent(transport, **kwargs)
+    thread = threading.Thread(
+        target=agent.run, kwargs={"idle_exit_s": 20.0}, daemon=True
+    )
+    thread.start()
+    return agent, thread
+
+
+@pytest.fixture(scope="module")
+def serial_digest():
+    return campaign_digest(_serial())
+
+
+def test_remote_backend_over_stdlib_http_matches_serial(serial_digest, tmp_path):
+    """Cold and warm remote runs over real HTTP ≡ serial, and the shared
+    experiment cache short-circuits the warm run's agent-side work."""
+    cache_dir = str(tmp_path / "cache")
+    with ManagerServer(port=0) as server:
+        agent, thread = _agent_thread(
+            HttpTransport(server.url), workers=2, name="it-a"
+        )
+        try:
+            config = CSnakeConfig(
+                experiment_backend="remote",
+                manager_url=server.url,
+                cache_dir=cache_dir,
+                **CFG,
+            )
+            cold = Pipeline.default(get_system("toy"), config).run()
+            assert campaign_digest(cold) == serial_digest
+            warm = Pipeline.default(get_system("toy"), config).run()
+            assert campaign_digest(warm) == serial_digest
+        finally:
+            agent.stop()
+            thread.join(timeout=10.0)
+        # The agent executed the cold run and reported warm-cache hits on
+        # the second: its counters travel back with every completion.
+        stats = server.core.stats()
+        fleet = {a["name"]: a["cache"] for a in stats["agents"]}
+        assert fleet["it-a"]["stores"] > 0
+        assert fleet["it-a"]["hits"] > 0
+    assert stats["tasks"]["executed"] == stats["tasks"]["total"]
+    assert stats["tasks"]["queued"] == stats["tasks"]["leased"] == 0
+
+
+def test_agent_death_mid_run_is_absorbed(serial_digest):
+    """An agent that leases a batch and vanishes without completing or
+    heartbeating (``fail_after_tasks``) must not change the outcome: the
+    reaper re-queues its held tasks for the survivor and the campaign
+    digest stays identical to serial."""
+    core = ManagerCore(lease_ttl_s=1.5)
+    with ManagerServer(core=core, port=0) as server:
+        doomed, doomed_thread = _agent_thread(
+            HttpTransport(server.url), workers=2, name="doomed",
+            fail_after_tasks=3,
+        )
+        survivor, survivor_thread = _agent_thread(
+            HttpTransport(server.url), workers=2, name="survivor"
+        )
+        try:
+            config = CSnakeConfig(
+                experiment_backend="remote", manager_url=server.url, **CFG
+            )
+            ctx = Pipeline.default(get_system("toy"), config).run()
+            assert campaign_digest(ctx) == serial_digest
+        finally:
+            doomed.stop()
+            survivor.stop()
+            doomed_thread.join(timeout=10.0)
+            survivor_thread.join(timeout=10.0)
+        assert doomed.died, "the fail_after_tasks hook never fired"
+        stats = core.stats()
+        assert stats["tasks"]["requeued"] > 0, "the reaper never reclaimed a lease"
+        assert stats["tasks"]["queued"] == stats["tasks"]["leased"] == 0
+
+
+def test_concurrent_campaigns_share_the_queue_without_double_execution():
+    """Two identical campaigns submitted to one manager dedup at the task
+    queue: every (fault, test) pair executes exactly once, the second
+    campaign rides the first one's results, and both reports agree.
+
+    The second campaign differs in an execution-only knob
+    (``experiment_workers``) — result-affecting identity, not submitted
+    config bytes, is what dedups."""
+    core = ManagerCore(lease_ttl_s=10.0)
+    agent, thread = _agent_thread(core, workers=2, name="shared")
+    config_obj = dict(CFG)
+    try:
+        first = core.start_campaign("toy", config_obj, label="first")["campaign"]
+        second = core.start_campaign(
+            "toy", dict(config_obj, experiment_workers=5), label="second"
+        )["campaign"]
+        a = core.wait_campaign(first, timeout_s=120.0)
+        b = core.wait_campaign(second, timeout_s=120.0)
+    finally:
+        agent.stop()
+        thread.join(timeout=10.0)
+    assert a["state"] == "done", a
+    assert b["state"] == "done", b
+    assert a["digest"] == b["digest"]
+    assert a["summary"] == b["summary"]
+
+    stats = core.stats()["tasks"]
+    # Exact counters: every unique task executed exactly once, every task
+    # was shared by both campaigns, and no lease was ever lost.
+    assert stats["executed"] == stats["total"]
+    assert stats["deduped"] == stats["total"]
+    assert stats["failed"] == 0 and stats["requeued"] == 0
+    # Both campaigns observed the full task set as their own progress.
+    assert a["tasks"] == {"done": stats["total"], "total": stats["total"]}
+    assert b["tasks"] == {"done": stats["total"], "total": stats["total"]}
+
+
+def test_manager_side_campaign_matches_serial(serial_digest):
+    """`repro submit` path: a campaign run manager-side over the in-process
+    transport produces the serial digest and streams progress events."""
+    core = ManagerCore(lease_ttl_s=10.0)
+    agent, thread = _agent_thread(core, workers=2, name="evt")
+    try:
+        campaign = core.start_campaign("toy", dict(CFG), label="evt")["campaign"]
+        status = core.wait_campaign(campaign, timeout_s=120.0)
+    finally:
+        agent.stop()
+        thread.join(timeout=10.0)
+    assert status["state"] == "done"
+    assert status["digest"] == serial_digest
+    events = core.campaign_events(campaign, after=0)["events"]
+    kinds = [e["kind"] for e in events]
+    assert kinds[0] == "campaign_submitted"
+    assert kinds[-1] == "campaign_done"
+    assert "task_done" in kinds
+    # Progress counters in task events are monotonic and end complete.
+    dones = [e["detail"]["done"] for e in events if e["kind"] == "task_done"]
+    assert dones == sorted(dones)
+    assert status["tasks"]["done"] == status["tasks"]["total"] > 0
+
+
+def test_http_error_surfaces_as_repro_error():
+    from repro.errors import ReproError
+
+    with ManagerServer(port=0) as server:
+        transport = HttpTransport(server.url)
+        assert transport.health()["protocol"] == 1
+        with pytest.raises(ReproError):
+            transport.campaign_status("campaign-404")

@@ -45,6 +45,17 @@ def test_bench_campaign_smoke(tmp_path):
     assert analysis["functions"] > 0 and analysis["call_edges"] > 0
     assert analysis["wall_total_s"] >= 0 and analysis["reachability_trusted"]
 
+    # The remote_campaign section self-hosts a manager + 2 agent threads
+    # and must reproduce the serial digest over the wire, with the fleet's
+    # throughput and queue-wait metrics recorded.
+    remote = result["remote_campaign"]
+    assert remote["backends"]["remote"]["identical_to_serial"]
+    assert remote["submit_to_commit_wall_s"] == remote["backends"]["remote"]["wall_s"]
+    assert remote["tasks"]["executed"] == remote["tasks"]["total"] > 0
+    assert sum(a["tasks_completed"] for a in remote["agents"]) >= remote["tasks"]["total"]
+    assert all(a["tasks_per_s"] >= 0 for a in remote["agents"])
+    assert remote["queue_wait_s"]["max"] >= remote["queue_wait_s"]["mean"] >= 0
+
     out = tmp_path / "bench.json"
     write_bench_json(result, str(out))
     loaded = json.loads(out.read_text())

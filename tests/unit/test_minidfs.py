@@ -21,19 +21,23 @@ def spec():
 
 
 def test_registry_and_ground_truth(spec):
-    assert len(spec.registry) == 41  # 31 code sites + 4 node + 6 link env sites
+    assert len(spec.registry) == 45  # 35 code sites + 4 node + 6 link env sites
     assert len(spec.registry.env_sites()) == 10
     assert len(spec.workloads) == 7
-    assert [b.bug_id for b in spec.known_bugs] == ["DFS-1", "DFS-2", "DFS-3"]
+    assert [b.bug_id for b in spec.known_bugs] == [
+        "DFS-1", "DFS-2", "DFS-3", "DFS-4",
+    ]
     for bug in spec.known_bugs:
         for fault in bug.core_faults | bug.trigger_faults:
             assert fault.site_id in spec.registry, bug.bug_id
     # Each bug is gated on a *different* disturbance class: a single node
-    # crash, a link partition, and a rolling crash/restart schedule.
+    # crash, a link partition, a rolling crash/restart schedule, and
+    # datagram loss.
     gates = {
         "DFS-1": "node_crash",
         "DFS-2": "partition",
         "DFS-3": "membership_churn",
+        "DFS-4": "msg_drop",
     }
     for bug_id, kind in gates.items():
         bug = spec.bug(bug_id)
@@ -246,6 +250,19 @@ def test_restart_resets_datanode_registration():
         # set -> more transfers into the surviving datanodes.
         (FaultKey("nn.rerepl.rpc", InjKind.EXCEPTION), "dfs.churn",
          FaultKey("dn.pipe.recv", InjKind.DELAY)),
+        # DFS-4: slow ack building keeps the flush behind the ack timeout
+        # -> overdue-ack retry RPCs time out against the busy datanode.
+        (FaultKey("dn.ack.build", InjKind.DELAY), "dfs.churn",
+         FaultKey("nn.retry.rpc", InjKind.EXCEPTION)),
+        # DFS-4: a failed retry -> the ack channel is distrusted for a
+        # window -> every scan retries every inflight transfer -> the
+        # duplicate receives grow the ack-flush work.
+        (FaultKey("nn.retry.rpc", InjKind.EXCEPTION), "dfs.churn",
+         FaultKey("dn.ack.build", InjKind.DELAY)),
+        # DFS-4 trigger: datagram loss on a master-adjacent link eats ack
+        # datagrams (never RPCs) -> sustained overdue-ack retry traffic.
+        (FaultKey("env.link.dn0~nn0", InjKind("msg_drop")), "dfs.churn",
+         FaultKey("dn.ack.build", InjKind.DELAY)),
     ],
 )
 def test_seeded_feedback_paths_fire(spec, fault, test_id, expected):

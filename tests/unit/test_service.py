@@ -1,0 +1,244 @@
+"""Unit tests for the campaign service core (repro.service).
+
+Everything here runs without sockets: :class:`ManagerCore` takes an
+injected clock, so lease-expiry and re-queue behaviour is tested by
+advancing a counter, never by sleeping; the executor tests speak to the
+core through :class:`LocalTransport`, the same in-process seam
+manager-side campaigns use.
+"""
+
+import json
+
+import pytest
+
+from repro.config import CSnakeConfig
+from repro.core.driver import ExperimentTask
+from repro.errors import ReproError
+from repro.instrument.plan import InjectionPlan
+from repro.serialize import task_from_obj, task_to_obj
+from repro.service.manager import ManagerCore, task_digest
+from repro.service.remote import LocalTransport, RemoteExecutor
+from repro.types import FaultKey, InjKind
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _task_obj(fault="svc.loop:DELAY", test_id="t1", seed=7, **config):
+    """A minimal wire-form task; config defaults to result-affecting only."""
+    cfg = {"seed": seed}
+    cfg.update(config)
+    return {
+        "system": "toy",
+        "test_id": test_id,
+        "config_json": json.dumps(cfg, sort_keys=True),
+        "fault": fault,
+        "plans": [],
+    }
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def core(clock):
+    return ManagerCore(lease_ttl_s=10.0, clock=clock)
+
+
+# ------------------------------------------------------------------ queue
+
+
+def test_lease_complete_happy_path(core):
+    agent = core.register_agent(name="a", workers=2)["agent"]
+    ids = core.submit_tasks([_task_obj(test_id="t1"), _task_obj(test_id="t2")])["ids"]
+    leased = core.lease(agent, max_tasks=4)["tasks"]
+    assert [e["id"] for e in leased] == ids  # FIFO
+    for entry in leased:
+        core.complete(agent, entry["id"], result={"ok": 1})
+    reply = core.poll_results(ids)
+    assert sorted(reply["done"]) == sorted(ids) and not reply["pending"]
+    stats = core.stats()["tasks"]
+    assert stats == {
+        "total": 2, "queued": 0, "leased": 0, "done": 2, "failed": 0,
+        "executed": 2, "deduped": 0, "requeued": 0,
+    }
+
+
+def test_unknown_agent_must_reregister(core):
+    with pytest.raises(ReproError):
+        core.lease("agent-99")
+
+
+def test_expired_lease_requeues_for_surviving_agents(core, clock):
+    dying = core.register_agent(name="dying")["agent"]
+    ids = core.submit_tasks([_task_obj()])["ids"]
+    assert [e["id"] for e in core.lease(dying, max_tasks=1)["tasks"]] == ids
+    clock.advance(11.0)  # past the 10s TTL: the reaper reclaims the lease
+    survivor = core.register_agent(name="survivor")["agent"]
+    reclaimed = core.lease(survivor, max_tasks=1)["tasks"]
+    assert [e["id"] for e in reclaimed] == ids
+    assert core.stats()["tasks"]["requeued"] == 1
+    with pytest.raises(ReproError):
+        core.lease(dying)  # the dead agent was forgotten entirely
+
+
+def test_heartbeat_extends_lease_across_ttl(core, clock):
+    agent = core.register_agent()["agent"]
+    ids = core.submit_tasks([_task_obj()])["ids"]
+    core.lease(agent, max_tasks=1)
+    clock.advance(8.0)
+    assert core.heartbeat(agent)["ok"]
+    clock.advance(8.0)  # 16s total — but the beat at t=8 renewed to t=18
+    assert core.complete(agent, ids[0], result={"ok": 1})["duplicate"] is False
+    assert core.stats()["tasks"]["requeued"] == 0
+
+
+def test_late_result_from_reaped_agent_is_first_completion_wins(core, clock):
+    slow = core.register_agent(name="slow")["agent"]
+    ids = core.submit_tasks([_task_obj()])["ids"]
+    core.lease(slow, max_tasks=1)
+    clock.advance(11.0)
+    fast = core.register_agent(name="fast")["agent"]
+    core.lease(fast, max_tasks=1)
+    assert core.complete(fast, ids[0], result={"ok": 1})["duplicate"] is False
+    # The reaped agent finishes the work it still held: deterministic
+    # execution makes the race benign, and the duplicate is absorbed.
+    assert core.complete(slow, ids[0], result={"ok": 1})["duplicate"] is True
+    assert core.stats()["tasks"]["executed"] == 1
+
+
+def test_failed_task_retries_on_fresh_submission(core):
+    agent = core.register_agent()["agent"]
+    ids = core.submit_tasks([_task_obj()])["ids"]
+    core.lease(agent, max_tasks=1)
+    core.complete(agent, ids[0], error="boom")
+    assert core.poll_results(ids)["done"][ids[0]] == {"error": "boom"}
+    assert core.submit_tasks([_task_obj()])["ids"] == ids
+    retried = core.lease(agent, max_tasks=1)["tasks"]
+    assert [e["id"] for e in retried] == ids
+    core.complete(agent, ids[0], result={"ok": 1})
+    assert core.poll_results(ids)["done"][ids[0]] == {"result": {"ok": 1}}
+
+
+def test_poll_unknown_task_raises(core):
+    with pytest.raises(ReproError):
+        core.poll_results(["nope"])
+
+
+# ------------------------------------------------------------------ dedup
+
+
+def test_task_digest_strips_execution_only_knobs():
+    base = _task_obj()
+    for knob, value in (
+        ("experiment_workers", 7),
+        ("experiment_backend", "process"),
+        ("beam_workers", 3),
+        ("cache_dir", "/tmp/elsewhere"),
+        ("manager_url", "http://other:1"),
+    ):
+        assert task_digest(_task_obj(**{knob: value})) == task_digest(base), knob
+    assert task_digest(_task_obj(seed=8)) != task_digest(base)
+    assert task_digest(_task_obj(fault=None)) != task_digest(base)
+    assert task_digest(_task_obj(test_id="t2")) != task_digest(base)
+
+
+def test_identical_submissions_share_one_queue_entry(core):
+    agent = core.register_agent()["agent"]
+    a = core.submit_tasks([_task_obj()])["ids"]
+    b = core.submit_tasks([_task_obj(experiment_workers=5)])["ids"]
+    assert a == b
+    assert core.lease(agent, max_tasks=4)["tasks"] != []
+    assert core.lease(agent, max_tasks=4)["tasks"] == []  # nothing left
+    core.complete(agent, a[0], result={"ok": 1})
+    assert core.stats()["tasks"]["total"] == 1
+    assert core.stats()["tasks"]["executed"] == 1
+
+
+# ------------------------------------------------------------------ codecs
+
+
+def _sample_tasks():
+    fault = FaultKey("svc.handle.scan", InjKind.DELAY)
+    return [
+        ExperimentTask("toy", "t1", '{"seed": 7}', None, ()),
+        ExperimentTask(
+            "toy", "t2", '{"seed": 7}', fault,
+            (InjectionPlan(fault, delay_ms=500.0, warmup_ms=1000.0),),
+        ),
+        ExperimentTask(
+            "toy", "t3", '{"seed": 9}',
+            FaultKey("env.link.a~b", InjKind("msg_drop")),
+            (InjectionPlan(
+                FaultKey("env.link.a~b", InjKind("msg_drop")),
+                params=(("drop_p", 0.3),),
+            ),),
+        ),
+    ]
+
+
+@pytest.mark.parametrize("task", _sample_tasks(), ids=lambda t: t.test_id)
+def test_task_wire_roundtrip(task):
+    obj = task_to_obj(task)
+    assert json.loads(json.dumps(obj)) == obj  # JSON-clean
+    assert task_from_obj(obj) == task
+    assert task_digest(obj) == task_digest(task_to_obj(task_from_obj(obj)))
+
+
+# ---------------------------------------------------------------- executor
+#
+# These tests long-poll, so they run against a real-clock core (the
+# injected-clock fixture would keep every poll deadline forever distant).
+
+
+def test_remote_executor_rejects_adhoc_callables():
+    executor = RemoteExecutor(LocalTransport(ManagerCore()))
+    with pytest.raises(ReproError, match="ExperimentTask descriptors only"):
+        executor.map(len, [[1], [2]])
+
+
+def test_remote_executor_needs_real_fanout():
+    with pytest.raises(ReproError):
+        RemoteExecutor(LocalTransport(ManagerCore()), max_workers=1)
+
+
+def test_remote_executor_propagates_task_errors():
+    import threading
+
+    from repro.core.driver import execute_experiment_task
+
+    live = ManagerCore()
+    executor = RemoteExecutor(LocalTransport(live), campaign=None)
+    task = ExperimentTask("toy", "t1", '{"seed": 7}', None, ())
+
+    def serve_one_error():
+        agent = live.register_agent(name="err")["agent"]
+        entry = live.lease(agent, max_tasks=1, wait_s=5.0)["tasks"][0]
+        live.complete(agent, entry["id"], error="RuntimeError: kaboom")
+
+    thread = threading.Thread(target=serve_one_error, daemon=True)
+    thread.start()
+    with pytest.raises(ReproError, match="kaboom"):
+        executor.map(execute_experiment_task, [task])
+    thread.join(timeout=5.0)
+
+
+def test_remote_executor_timeout_without_agents(monkeypatch):
+    from repro.core.driver import execute_experiment_task
+    from repro.service import remote as remote_mod
+
+    monkeypatch.setattr(remote_mod, "POLL_WAIT_S", 0.1)
+    executor = RemoteExecutor(LocalTransport(ManagerCore()), timeout_s=0.2)
+    task = ExperimentTask("toy", "t1", '{"seed": 7}', None, ())
+    with pytest.raises(ReproError, match="stalled"):
+        executor.map(execute_experiment_task, [task])

@@ -454,3 +454,37 @@ def test_diff_reports_identical_ignores_recorded_state_noise():
     diff = diff_reports(old, new)
     assert diff.identical
     assert diff.to_obj()["identical"] is True
+
+
+# ------------------------------------------------------- bundled systems
+
+
+@pytest.mark.parametrize("name", ["minihdfs2", "minihdfs3"])
+def test_minihdfs_cache_entries_key_on_slice_digests(name, tmp_path):
+    """The PR-6 follow-up contract: with ``source_modules`` declared, the
+    MiniHDFS specs' cache entries key on per-site slice digests — never
+    the whole-spec fallback.  Every analyzer-selected fault site and
+    every workload entry point must resolve; the only unresolved sites
+    are ones the static analyzer filters out of the fault space anyway
+    (metrics, test-only, reflection)."""
+    from repro.cache import ExperimentCache
+    from repro.config import CSnakeConfig
+    from repro.instrument.analyzer import analyze
+    from repro.systems import get_system
+
+    spec = get_system(name)
+    slices = spec.slice_analysis()
+    assert slices is not None, "source_modules undeclared"
+    selected = {f.site_id for f in analyze(spec.registry, slices=slices).faults}
+    assert selected - set(slices.site_digests) == set()
+    assert set(spec.workload_ids()) - set(slices.entry_digests) == set()
+    assert not (selected & set(slices.unresolved))
+
+    cache = ExperimentCache(tmp_path, spec, CSnakeConfig(cache_dir=str(tmp_path)))
+    for site_id in sorted(selected):
+        component = cache._site_slice(site_id)
+        assert "reason" not in component, (site_id, component)
+        assert component["digest"] == slices.site_digests[site_id]
+    for test_id in spec.workload_ids():
+        component = cache._entry_slice(test_id)
+        assert "reason" not in component, (test_id, component)

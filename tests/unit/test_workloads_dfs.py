@@ -30,9 +30,17 @@ REREPL = {"nn.rerepl.scan", "nn.rerepl.rpc", "dn.serve.rpc", "nn.block.is_under"
 #: Sites only the failover drill reaches (promotion + namespace rebuild).
 FAILOVER = {"fo.report.rpc", "fo.rebuild.entries"}
 
+#: Sites only the churn drill reaches (explicit-ack transfer mode: the
+#: batched ack flush, the overdue-ack scan, and the retry path the
+#: flush-cadence/ack-timeout mismatch keeps naturally warm).
+ACK = {"dn.ack.build", "nn.ack.scan", "nn.retry.rpc"}
+
 #: Error-path branches (and one dead function): never reached by any
 #: fault-free profile run — they exist for injections to steer.
-ERROR_ONLY = {"dn.hb.b_rereg", "fo.b_promote", "nn.rerepl.b_rescan", "nn.fsck.scan"}
+ERROR_ONLY = {
+    "dn.hb.b_rereg", "fo.b_promote", "nn.rerepl.b_rescan", "nn.ack.b_panic",
+    "nn.fsck.scan",
+}
 
 
 @pytest.fixture(scope="module")
@@ -58,6 +66,9 @@ def test_drills_own_their_subsystems(reached):
     for test_id, sites in reached.items():
         assert (test_id in ("dfs.replicate", "dfs.churn")) == bool(REREPL & sites), test_id
         assert (test_id == "dfs.failover") == bool(FAILOVER & sites), test_id
+        assert (test_id == "dfs.churn") == bool(ACK & sites), test_id
+        if test_id == "dfs.churn":
+            assert ACK <= sites, sorted(ACK - sites)
 
 
 def test_churn_is_the_unique_coverage_maximum(reached):
